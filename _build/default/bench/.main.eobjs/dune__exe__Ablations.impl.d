@@ -1,0 +1,1 @@
+bench/ablations.ml: Bcache Bytes Config Dev Device Dir File Footprint Fs Highlight Inode Lfs List Param Policy Printf Rng Sim Tablefmt Trace Tree_gen Util Workload

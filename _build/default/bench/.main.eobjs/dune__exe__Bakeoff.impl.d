@@ -1,0 +1,1 @@
+bench/bakeoff.ml: Config Dev Device Dir Ffs File Footprint Fs Hashtbl Highlight Inode Jaquith Lfs List Param Policy Printf Sim Tablefmt Trace Util Workload

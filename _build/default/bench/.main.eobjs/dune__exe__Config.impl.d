@@ -1,0 +1,1 @@
+bench/config.ml: Device Ffs Footprint Lfs Param Sim

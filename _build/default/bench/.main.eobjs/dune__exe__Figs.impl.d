@@ -1,0 +1,1 @@
+bench/figs.ml: Bytes Config Debug Dev Device Dir File Footprint Fs Highlight Layout Lfs Param Sim

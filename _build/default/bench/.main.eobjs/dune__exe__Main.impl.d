@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Bakeoff Figs List Micro Printf Sys Table1 Table2 Table3 Table4_6 Table5

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Bytes Hashtbl Instance Lfs List Measure Policy Printf Staged Test Time Toolkit Util

@@ -1,0 +1,1 @@
+bench/table1.ml: Bkey Bytes Lfs List Printf Summary Tablefmt Util

@@ -1,0 +1,1 @@
+bench/table2.ml: Config Dev Ffs Fs Highlight Large_object Lfs List Printf Sim Tablefmt Util Workload

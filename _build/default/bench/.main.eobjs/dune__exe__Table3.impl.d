@@ -1,0 +1,1 @@
+bench/table3.ml: Bytes Config Dev Dir Ffs File Fs Highlight Lfs List Option Printf Sim Tablefmt Util

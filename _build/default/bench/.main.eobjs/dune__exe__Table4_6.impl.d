@@ -1,0 +1,1 @@
+bench/table4_6.ml: Bytes Config Dev Device Dir File Footprint Fs Highlight Lfs List Param Printf Sim Tablefmt Util

@@ -1,0 +1,1 @@
+bench/table5.ml: Bytes Config Device List Sim Tablefmt Util

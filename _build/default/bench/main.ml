@@ -1,0 +1,54 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (USENIX '93 / UCB MS report), plus the ablations DESIGN.md
+   calls out and Bechamel micro-benchmarks of the implementation.
+
+     dune exec bench/main.exe                  # everything
+     dune exec bench/main.exe -- --only table2 # one experiment
+     dune exec bench/main.exe -- --list        # targets *)
+
+let targets : (string * string * (unit -> unit)) list =
+  [
+    ("table1", "partial-segment summary layout + checksum demo", Table1.run);
+    ("table2", "large-object performance: FFS / LFS / HighLight", Table2.run);
+    ("table3", "access delays incl. demand fetch from MO", Table3.run);
+    ("table4", "migration elapsed-time breakdown", Table4_6.run);
+    ("table5", "raw device calibration", Table5.run);
+    ("table6", "(runs with table4: same instrumented migration)", ignore);
+    ("fig1", "LFS on-disk layout (live dump)", Figs.run_fig1);
+    ("fig2", "storage hierarchy (live dump)", Figs.run_fig2);
+    ("fig3", "HighLight layout with cached tertiary segment", Figs.run_fig3);
+    ("fig4", "block address allocation map", Figs.run_fig4);
+    ("fig5", "layered architecture with live counters", Figs.run_fig5);
+    ("ablate-policy", "STP exponents x cache eviction over a Zipf trace", Ablations.run_policy);
+    ("ablate-staging", "immediate vs delayed copy-out (paper 5.4)", Ablations.run_staging);
+    ("ablate-segsize", "segment size sweep", Ablations.run_segsize);
+    ("ablate-prefetch", "namespace-unit prefetch (paper 5.3)", Ablations.run_prefetch);
+    ("ablate-rearrange", "tertiary rearrangement on co-access (paper 5.4)", Ablations.run_rearrange);
+    ("bakeoff", "HighLight vs Jaquith+FFS on the same archival trace", Bakeoff.run);
+    ("micro", "Bechamel micro-benchmarks of hot paths", Micro.run);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [ "--list" ] ->
+      List.iter (fun (name, descr, _) -> Printf.printf "%-16s %s\n" name descr) targets
+  | [ "--only"; name ] -> (
+      match List.find_opt (fun (n, _, _) -> n = name) targets with
+      | Some (_, _, run) -> run ()
+      | None ->
+          Printf.eprintf "unknown target %s; try --list\n" name;
+          exit 1)
+  | [] ->
+      print_endline "HighLight reproduction: regenerating every table and figure.";
+      print_endline "(simulated 1993 testbed; see EXPERIMENTS.md for the calibration notes)";
+      List.iter
+        (fun (name, _, run) ->
+          if name <> "table6" then begin
+            Printf.printf "\n### %s\n%!" name;
+            run ()
+          end)
+        targets
+  | _ ->
+      prerr_endline "usage: main.exe [--list | --only <target>]";
+      exit 1

@@ -1,0 +1,55 @@
+(* Table 1: the partial-segment summary block. Not a measurement — the
+   reproduction prints the implemented layout field by field and
+   demonstrates the checksums doing their job, mirroring the paper's
+   format table. *)
+
+open Util
+open Lfs
+
+let run () =
+  let table =
+    Tablefmt.create ~title:"Table 1: partial segment summary block (implemented layout)"
+      ~header:[ "Field"; "Bytes"; "Description" ]
+  in
+  List.iter
+    (fun row -> Tablefmt.add_row table row)
+    [
+      [ "ss_sumsum"; "4"; "check sum of summary block" ];
+      [ "ss_datasum"; "4"; "check sum of data" ];
+      [ "ss_next"; "4"; "disk address of next segment in log" ];
+      [ "ss_create"; "8"; "creation time stamp" ];
+      [ "ss_serial"; "8"; "roll-forward ordering (addition over the paper)" ];
+      [ "ss_nfinfo"; "2"; "number of file info structures" ];
+      [ "ss_ninos"; "2"; "number of inodes in summary" ];
+      [ "ss_flags"; "2"; "flags (tertiary-segment marker)" ];
+      [ "ss_magic+pad"; "6"; "identification / word alignment" ];
+      [ "file info"; "12 + 4/blk"; "per distinct file: ino, version, lastlength, block keys" ];
+      [ "inode addrs"; "4 each"; "inode block disk addresses (from block end)" ];
+    ];
+  Tablefmt.print table;
+  (* round-trip + corruption demonstration on a real summary *)
+  let sum =
+    {
+      Summary.ss_next = 512;
+      ss_create = 1.0;
+      ss_serial = 1L;
+      ss_flags = 0;
+      finfos =
+        [
+          {
+            Summary.fi_ino = 4;
+            fi_version = 1;
+            fi_lastlength = 812;
+            fi_blocks = [ Bkey.Data 0; Bkey.Data 1; Bkey.L1 0 ];
+          };
+        ];
+      inode_addrs = [ 516 ];
+    }
+  in
+  let block = Summary.serialize ~block_size:4096 ~data_crc:0xfeed sum in
+  let ok = match Summary.deserialize block with Ok (s, _) -> s = sum | Error _ -> false in
+  Printf.printf "  serialize/deserialize round-trip: %s\n" (if ok then "ok" else "FAILED");
+  Bytes.set block 100 '!';
+  let detected = Summary.deserialize block = Error Summary.Bad_checksum in
+  Printf.printf "  single-byte corruption detected by ss_sumsum: %s\n"
+    (if detected then "ok" else "FAILED")

@@ -1,0 +1,71 @@
+(* Table 5: raw device measurements. Sequential 1 MB transfers against
+   each raw device, plus the volume-change latency (eject command to a
+   completed read of one sector on the next platter). This is the
+   calibration anchor: if these land on the paper's numbers, every other
+   table's numbers are *derived*, not fitted. *)
+
+open Util
+
+let megabyte = 256 (* blocks *)
+
+let rate_of bytes elapsed = float_of_int bytes /. elapsed
+
+let disk_rates engine profile =
+  Config.in_sim engine (fun () ->
+      let d = Device.Disk.create engine profile ~name:"raw" in
+      let t0 = Sim.Engine.now engine in
+      for i = 0 to 19 do
+        ignore (Device.Disk.read d ~blk:(i * megabyte) ~count:megabyte)
+      done;
+      let t1 = Sim.Engine.now engine in
+      for i = 0 to 19 do
+        Device.Disk.write d ~blk:(i * megabyte) (Bytes.create (megabyte * 4096))
+      done;
+      let t2 = Sim.Engine.now engine in
+      (rate_of (20 * 1048576) (t1 -. t0), rate_of (20 * 1048576) (t2 -. t1)))
+
+let mo_rates () =
+  let engine = Sim.Engine.create () in
+  Config.in_sim engine (fun () ->
+      let jb =
+        Device.Jukebox.create engine ~drives:2 ~nvolumes:4 ~vol_capacity:10240
+          ~media:Device.Jukebox.hp6300_platter ~changer:Device.Jukebox.hp6300_changer "mo"
+      in
+      (* load the platter first so rates exclude the swap *)
+      ignore (Device.Jukebox.read jb ~vol:0 ~blk:0 ~count:1);
+      let t0 = Sim.Engine.now engine in
+      for i = 0 to 9 do
+        Device.Jukebox.write jb ~vol:0 ~blk:(i * megabyte) (Bytes.create (megabyte * 4096))
+      done;
+      let t1 = Sim.Engine.now engine in
+      for i = 0 to 9 do
+        ignore (Device.Jukebox.read jb ~vol:0 ~blk:(i * megabyte) ~count:megabyte)
+      done;
+      let t2 = Sim.Engine.now engine in
+      (* volume change: eject vol 0, load vol 1, read one sector *)
+      let t3 = Sim.Engine.now engine in
+      ignore (Device.Jukebox.read jb ~vol:1 ~blk:0 ~count:1);
+      let swap = Sim.Engine.now engine -. t3 in
+      ( rate_of (10 * 1048576) (t2 -. t1),
+        rate_of (10 * 1048576) (t1 -. t0),
+        swap ))
+
+let run () =
+  let mo_r, mo_w, swap = mo_rates () in
+  let rz57_r, rz57_w = disk_rates (Sim.Engine.create ()) Device.Disk.rz57 in
+  let rz58_r, rz58_w = disk_rates (Sim.Engine.create ()) Device.Disk.rz58 in
+  let measured =
+    [ mo_r; mo_w; rz57_r; rz57_w; rz58_r; rz58_w ]
+  in
+  let table =
+    Tablefmt.create ~title:"Table 5: raw device measurements"
+      ~header:[ "I/O type"; "paper"; "measured"; "ratio" ]
+  in
+  List.iter2
+    (fun (label, paper) m ->
+      Tablefmt.add_row table
+        [ label; Tablefmt.kb_s paper; Tablefmt.kb_s m; Tablefmt.ratio ~measured:m ~paper ])
+    Config.paper_table5 measured;
+  Tablefmt.add_row table
+    [ "Volume change"; "13.5 s"; Tablefmt.seconds swap; Tablefmt.ratio ~measured:swap ~paper:13.5 ];
+  Tablefmt.print table

@@ -1,0 +1,273 @@
+(* hlctl — command-line driver for the HighLight simulation.
+
+   The storage stack is an in-memory simulation, so each invocation
+   builds a world, runs a scenario, and reports:
+
+     hlctl devices                      device profile catalogue
+     hlctl layout [--nsegs N ...]       address-space + layout dumps
+     hlctl simulate [options]           workload + migration scenario
+     hlctl fsck [options]               churn a file system, then audit *)
+
+open Cmdliner
+open Lfs
+
+let in_sim f =
+  let engine = Sim.Engine.create () in
+  let result = ref None in
+  Sim.Engine.spawn engine (fun () -> result := Some (f engine));
+  Sim.Engine.run engine;
+  match !result with Some r -> r | None -> failwith "simulation did not complete"
+
+let build_world engine ~nsegs ~nvolumes ~seg_blocks ~media =
+  let prm =
+    { (Param.default ~nsegs) with Param.seg_blocks; max_inodes = 4096; clean_reserve = 4 }
+  in
+  let disk =
+    Device.Disk.create engine
+      ~nblocks:(Layout.disk_blocks prm)
+      Device.Disk.rz57 ~name:"disk0"
+  in
+  let media_prof, changer =
+    match media with
+    | `Mo -> (Device.Jukebox.hp6300_platter, Device.Jukebox.hp6300_changer)
+    | `Tape -> (Device.Jukebox.metrum_tape, Device.Jukebox.metrum_changer)
+  in
+  let segs_per_volume = 40 in
+  let jukebox =
+    Device.Jukebox.create engine ~drives:2 ~nvolumes
+      ~vol_capacity:(segs_per_volume * seg_blocks)
+      ~media:media_prof ~changer "jukebox0"
+  in
+  let fp = Footprint.create ~seg_blocks ~segs_per_volume [ jukebox ] in
+  Highlight.Hl.mkfs engine prm ~disk:(Dev.of_disk disk) ~fp ()
+
+(* ---- devices ---- *)
+
+let devices () =
+  let t = Util.Tablefmt.create ~title:"device profiles" ~header:[ "device"; "read"; "write"; "notes" ] in
+  List.iter
+    (fun (p : Device.Disk.profile) ->
+      Util.Tablefmt.add_row t
+        [
+          p.Device.Disk.model;
+          Util.Tablefmt.kb_s p.Device.Disk.read_rate;
+          Util.Tablefmt.kb_s p.Device.Disk.write_rate;
+          Printf.sprintf "seek %.0f-%.0f ms" (p.Device.Disk.seek_min *. 1e3)
+            (p.Device.Disk.seek_max *. 1e3);
+        ])
+    [ Device.Disk.rz57; Device.Disk.rz58; Device.Disk.hp7958a ];
+  List.iter
+    (fun (m : Device.Jukebox.media_profile) ->
+      Util.Tablefmt.add_row t
+        [
+          m.Device.Jukebox.media_name;
+          Util.Tablefmt.kb_s m.Device.Jukebox.read_rate;
+          Util.Tablefmt.kb_s m.Device.Jukebox.write_rate;
+          Printf.sprintf "%d MB/volume"
+            (m.Device.Jukebox.capacity_blocks * m.Device.Jukebox.block_size / 1048576);
+        ])
+    [ Device.Jukebox.hp6300_platter; Device.Jukebox.metrum_tape; Device.Jukebox.sony_worm ];
+  Util.Tablefmt.print t;
+  0
+
+(* ---- layout ---- *)
+
+let layout nsegs nvolumes seg_blocks =
+  in_sim (fun engine ->
+      let hl = build_world engine ~nsegs ~nvolumes ~seg_blocks ~media:`Mo in
+      let fs = Highlight.Hl.fs hl in
+      ignore (Dir.mkdir fs "/demo");
+      Highlight.Hl.write_file hl "/demo/a" (Bytes.create (seg_blocks * 4096 * 2));
+      ignore (Highlight.Migrator.migrate_paths (Highlight.Hl.state hl) [ "/demo/a" ]);
+      print_string (Highlight.Hl_debug.render_address_map hl);
+      print_newline ();
+      print_string (Highlight.Hl_debug.render_layout hl);
+      print_newline ();
+      print_string (Highlight.Hl_debug.render_architecture hl);
+      0)
+
+(* ---- simulate ---- *)
+
+let simulate nsegs nvolumes seg_blocks media files file_kb policy verbose =
+  in_sim (fun engine ->
+      let hl = build_world engine ~nsegs ~nvolumes ~seg_blocks ~media in
+      let fs = Highlight.Hl.fs hl in
+      let st = Highlight.Hl.state hl in
+      ignore (Dir.mkdir fs "/data");
+      let rng = Util.Rng.create 42 in
+      for i = 0 to files - 1 do
+        let path = Printf.sprintf "/data/f%04d" i in
+        let bytes = file_kb * 1024 / 2 * (1 + Util.Rng.int rng 2) in
+        Highlight.Hl.write_file hl path (Bytes.create bytes);
+        Sim.Engine.delay 60.0
+      done;
+      Fs.checkpoint fs;
+      Sim.Engine.delay 3600.0;
+      let migrated =
+        match policy with
+        | "stp" ->
+            let inums =
+              Policy.Stp.select fs Policy.Stp.default
+                ~target_bytes:(files * file_kb * 1024 / 2)
+            in
+            List.length (Highlight.Migrator.migrate_files st inums)
+        | "namespace" ->
+            let units =
+              Policy.Namespace.select fs Policy.Namespace.default_ranking ~root:"/data"
+                ~target_bytes:(files * file_kb * 1024 / 2)
+            in
+            List.length
+              (Highlight.Migrator.migrate_files st
+                 (List.concat_map (fun u -> u.Policy.Namespace.inums) units))
+        | "none" -> 0
+        | p ->
+            Printf.eprintf "unknown policy %s\n" p;
+            exit 1
+      in
+      ignore (Cleaner.clean_until fs ~target_clean:(nsegs / 2) ());
+      (* touch a random archived file to show the fetch path *)
+      Bcache.invalidate_clean (Fs.bcache fs);
+      let victim = Printf.sprintf "/data/f%04d" (Util.Rng.int rng files) in
+      let t0 = Sim.Engine.now engine in
+      ignore (Highlight.Hl.read_file hl victim ());
+      let fetch_time = Sim.Engine.now engine -. t0 in
+      let s = Highlight.Hl.stats hl in
+      Printf.printf "files written: %d   segments migrated: %d   clean segments: %d/%d\n" files
+        migrated (Fs.nclean fs) nsegs;
+      Printf.printf "tertiary: %d segments, %.1f MB live; re-read of %s took %.2fs\n"
+        s.Highlight.Hl.tertiary_segments_used
+        (float_of_int s.Highlight.Hl.tertiary_live_bytes /. 1048576.0)
+        victim fetch_time;
+      Printf.printf "demand fetches: %d   copies out: %d   cache: %d lines (%d evictions)\n"
+        s.Highlight.Hl.demand_fetches s.Highlight.Hl.writeouts s.Highlight.Hl.cache_lines
+        s.Highlight.Hl.cache_evictions;
+      if verbose then begin
+        print_newline ();
+        print_string (Highlight.Hl_debug.render_hierarchy hl)
+      end;
+      match Highlight.Hl.check hl with
+      | [] ->
+          print_endline "hierarchy invariants: ok";
+          0
+      | probs ->
+          List.iter print_endline probs;
+          1)
+
+(* ---- fsck ---- *)
+
+let fsck nsegs nvolumes seg_blocks =
+  in_sim (fun engine ->
+      let hl = build_world engine ~nsegs ~nvolumes ~seg_blocks ~media:`Mo in
+      let fs = Highlight.Hl.fs hl in
+      let st = Highlight.Hl.state hl in
+      let rng = Util.Rng.create 9 in
+      ignore (Dir.mkdir fs "/churn");
+      for round = 0 to 30 do
+        let path = Printf.sprintf "/churn/f%d" (Util.Rng.int rng 10) in
+        (try Highlight.Hl.write_file hl path (Bytes.create ((1 + Util.Rng.int rng 64) * 4096))
+         with Fs.No_space -> ignore (Cleaner.clean_until fs ~target_clean:(nsegs / 2) ()));
+        if round mod 7 = 3 then ignore (Highlight.Migrator.migrate_paths st [ path ]);
+        if round mod 11 = 5 then
+          try Dir.unlink fs path with Not_found | Dir.Not_dir _ -> ()
+      done;
+      Fs.checkpoint fs;
+      match Highlight.Hl.check hl @ Debug.fsck fs with
+      | [] ->
+          print_endline "fsck: clean after churn/migrate/unlink rounds";
+          0
+      | probs ->
+          List.iter print_endline probs;
+          1)
+
+(* ---- grow ---- *)
+
+let grow nsegs nvolumes seg_blocks added =
+  in_sim (fun engine ->
+      (* a store with headroom stands in for the new spindle *)
+      let prm =
+        { (Param.default ~nsegs) with Param.seg_blocks; max_inodes = 4096; clean_reserve = 4 }
+      in
+      let store =
+        Device.Blockstore.create ~block_size:prm.Param.block_size
+          ~nblocks:(Layout.disk_blocks { prm with Param.nsegs = nsegs + added })
+      in
+      let media_prof, changer = (Device.Jukebox.hp6300_platter, Device.Jukebox.hp6300_changer) in
+      let jukebox =
+        Device.Jukebox.create engine ~drives:2 ~nvolumes ~vol_capacity:(40 * seg_blocks)
+          ~media:media_prof ~changer "jukebox0"
+      in
+      let fp = Footprint.create ~seg_blocks ~segs_per_volume:40 [ jukebox ] in
+      let hl = Highlight.Hl.mkfs engine prm ~disk:(Dev.of_store store) ~fp
+          ~dead_zone_segs:(added + 16) () in
+      let fs = Highlight.Hl.fs hl in
+      Printf.printf "before: %d segments (%d clean)\n" (Fs.param fs).Param.nsegs (Fs.nclean fs);
+      Highlight.Hl.write_file hl "/payload" (Bytes.create (seg_blocks * 4096 * 2));
+      Highlight.Hl.grow_disk hl ~added_segs:added ();
+      Printf.printf "after:  %d segments (%d clean); dead zone shrank accordingly\n"
+        (Fs.param fs).Param.nsegs (Fs.nclean fs);
+      print_string (Highlight.Hl_debug.render_address_map hl);
+      match Highlight.Hl.check hl with
+      | [] -> print_endline "invariants: ok"; 0
+      | probs -> List.iter print_endline probs; 1)
+
+(* ---- cmdliner wiring ---- *)
+
+let nsegs_t = Arg.(value & opt int 64 & info [ "nsegs" ] ~doc:"Disk log segments.")
+let nvols_t = Arg.(value & opt int 8 & info [ "volumes" ] ~doc:"Jukebox volumes.")
+let segblocks_t = Arg.(value & opt int 256 & info [ "seg-blocks" ] ~doc:"Blocks per segment.")
+
+let media_conv = Arg.enum [ ("mo", `Mo); ("tape", `Tape) ]
+
+let media_t =
+  Arg.(value & opt media_conv `Mo & info [ "media" ] ~doc:"Tertiary media type (mo|tape).")
+
+let files_t = Arg.(value & opt int 24 & info [ "files" ] ~doc:"Files to create.")
+let filekb_t = Arg.(value & opt int 512 & info [ "file-kb" ] ~doc:"Mean file size in KB.")
+
+let policy_t =
+  Arg.(value & opt string "stp" & info [ "policy" ] ~doc:"Migration policy (stp|namespace|none).")
+
+let verbose_t = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Render the hierarchy.")
+
+(* --log enables the library's Logs source on stderr *)
+let setup_logs level =
+  (match level with
+  | None -> ()
+  | Some lvl ->
+      Logs.set_reporter (Logs.format_reporter ());
+      Logs.Src.set_level Highlight.Hl_log.src (Some lvl));
+  ()
+
+let log_conv = Arg.enum [ ("info", Logs.Info); ("debug", Logs.Debug) ]
+
+let log_t =
+  Arg.(value & opt (some log_conv) None & info [ "log" ] ~doc:"Emit highlight logs (info|debug).")
+
+(* the log level is a leading parameter of every command so that
+   [setup_logs] runs before the command body *)
+
+let () =
+  let doc = "HighLight: LFS-based tertiary storage management (simulation)" in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "hlctl" ~doc)
+          [
+            Cmd.v (Cmd.info "devices" ~doc:"List the simulated device profiles")
+              Term.(const (fun lvl () -> setup_logs lvl; devices ()) $ log_t $ const ());
+            Cmd.v (Cmd.info "layout" ~doc:"Dump the address space and on-disk layout")
+              Term.(const (fun lvl a b c -> setup_logs lvl; layout a b c)
+                    $ log_t $ nsegs_t $ nvols_t $ segblocks_t);
+            Cmd.v (Cmd.info "simulate" ~doc:"Run a write/migrate/fetch scenario")
+              Term.(const (fun lvl a b c d e f g h ->
+                        setup_logs lvl;
+                        simulate a b c d e f g h)
+                    $ log_t $ nsegs_t $ nvols_t $ segblocks_t $ media_t $ files_t $ filekb_t
+                    $ policy_t $ verbose_t);
+            Cmd.v (Cmd.info "grow" ~doc:"Demonstrate on-line disk addition (dead-zone claiming)")
+              Term.(const (fun lvl a b c d -> setup_logs lvl; grow a b c d)
+                    $ log_t $ nsegs_t $ nvols_t $ segblocks_t
+                    $ Arg.(value & opt int 16 & info [ "add" ] ~doc:"Segments to add."));
+            Cmd.v (Cmd.info "fsck" ~doc:"Churn a file system and audit its invariants")
+              Term.(const (fun lvl a b c -> setup_logs lvl; fsck a b c)
+                    $ log_t $ nsegs_t $ nvols_t $ segblocks_t);
+          ]))

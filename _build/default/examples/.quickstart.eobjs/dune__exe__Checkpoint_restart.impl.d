@@ -1,0 +1,1 @@
+examples/checkpoint_restart.ml: Addr_space Bcache Bkey Bytes Char Cleaner Dev Device Dir Footprint Fs Highlight Lfs List Param Policy Printf Sim

@@ -1,0 +1,1 @@
+examples/database_pages.ml: Bcache Bytes Char Dev Device Dir Footprint Fs Highlight Inode Lfs List Param Policy Printf Sim Util

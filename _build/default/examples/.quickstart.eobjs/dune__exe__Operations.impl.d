@@ -1,0 +1,1 @@
+examples/operations.ml: Bcache Bytes Char Cleaner Dev Device Dir Footprint Fs Highlight Layout Lfs List Param Policy Printf Sim

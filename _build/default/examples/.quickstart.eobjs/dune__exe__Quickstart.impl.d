@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bcache Bytes Char Dev Device Dir Footprint Fs Highlight Lfs List Param Printf Sim

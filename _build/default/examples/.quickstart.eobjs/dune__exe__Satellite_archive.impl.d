@@ -1,0 +1,1 @@
+examples/satellite_archive.ml: Bcache Bytes Cleaner Dev Device Dir File Footprint Fs Highlight Inode Lfs List Option Param Policy Printf Sim Util

@@ -1,0 +1,92 @@
+(* Scientific checkpoint/restart (paper §5.2's whole-file case): a
+   long-running simulation dumps its state periodically; old checkpoints
+   go cold immediately and the space-time-product migrator ships them to
+   the jukebox, while the newest stays on disk for a fast restart.
+   Restarting from an *archived* generation still works — it is just
+   slower by the tertiary fetch time, which is the whole point of the
+   hierarchy being transparent.
+
+     dune exec examples/checkpoint_restart.exe *)
+
+open Lfs
+open Highlight
+
+let ckpt g = Printf.sprintf "/ckpt/gen%03d.state" g
+
+let () =
+  let engine = Sim.Engine.create () in
+  Sim.Engine.spawn engine (fun () ->
+      let disk = Device.Disk.create engine Device.Disk.rz57 ~name:"scratch" in
+      let jukebox =
+        Device.Jukebox.create engine ~drives:2 ~nvolumes:8 ~vol_capacity:(40 * 256)
+          ~media:Device.Jukebox.hp6300_platter ~changer:Device.Jukebox.hp6300_changer "mo"
+      in
+      let fp = Footprint.create ~seg_blocks:256 ~segs_per_volume:40 [ jukebox ] in
+      let prm = { (Param.default ~nsegs:48) with Param.max_inodes = 512 } in
+      let hl = Highlight.Hl.mkfs engine prm ~disk:(Dev.of_disk disk) ~fp () in
+      let fs = Highlight.Hl.fs hl in
+      let st = Highlight.Hl.state hl in
+      ignore (Dir.mkdir fs "/ckpt");
+
+      let state_bytes = 4 * 1024 * 1024 in
+      let checkpoint_of g = Bytes.init state_bytes (fun i -> Char.chr ((g + i) land 0xff)) in
+      let generations = 6 in
+      Printf.printf "simulation running: %d checkpoint generations of %d MB\n" generations
+        (state_bytes / 1048576);
+      for g = 0 to generations - 1 do
+        (* compute for a while, then dump state sequentially *)
+        Sim.Engine.delay 3600.0;
+        let t0 = Sim.Engine.now engine in
+        Highlight.Hl.write_file hl (ckpt g) (checkpoint_of g);
+        Fs.flush fs;
+        Printf.printf "  gen %d dumped in %.1fs\n" g (Sim.Engine.now engine -. t0);
+        (* the STP migrator ships everything but the freshest generation
+           (files already on tertiary storage are skipped) *)
+        let disk_resident inum =
+          match Fs.get_inode fs inum with
+          | exception Not_found -> false
+          | ino ->
+              Fs.lookup_addr fs ino (Bkey.Data 0) >= 0
+              && not
+                   (Addr_space.is_tertiary (Highlight.Hl.state hl).Highlight.State.aspace
+                      (Fs.lookup_addr fs ino (Bkey.Data 0)))
+        in
+        let candidates =
+          Policy.Stp.select fs ~eligible:disk_resident
+            { Policy.Stp.default with Policy.Stp.min_idle = 1800.0 }
+            ~target_bytes:(2 * state_bytes)
+        in
+        if candidates <> [] then begin
+          Printf.printf "    migrating %d cold checkpoint(s) to the jukebox\n"
+            (List.length candidates);
+          ignore (Highlight.Migrator.migrate_files st candidates);
+          ignore (Cleaner.clean_once fs ())
+        end
+      done;
+
+      (* fast path: restart from the newest (disk-resident) checkpoint *)
+      Bcache.invalidate_clean (Fs.bcache fs);
+      let t0 = Sim.Engine.now engine in
+      let latest = Highlight.Hl.read_file hl (ckpt (generations - 1)) () in
+      assert (Bytes.equal latest (checkpoint_of (generations - 1)));
+      Printf.printf "\nrestart from gen %d (disk): %.1fs\n" (generations - 1)
+        (Sim.Engine.now engine -. t0);
+
+      (* slow path: roll back three generations, now jukebox-resident;
+         its cached segments were long since ejected for fresher data *)
+      let old_gen = generations - 4 in
+      Highlight.Hl.eject_tertiary_copies hl ~paths:[ ckpt old_gen ];
+      Bcache.invalidate_clean (Fs.bcache fs);
+      let t1 = Sim.Engine.now engine in
+      let old_state = Highlight.Hl.read_file hl (ckpt old_gen) () in
+      assert (Bytes.equal old_state (checkpoint_of old_gen));
+      Printf.printf "restart from gen %d (jukebox, transparent): %.1fs\n" old_gen
+        (Sim.Engine.now engine -. t1);
+
+      let s = Highlight.Hl.stats hl in
+      Printf.printf "\n%d demand fetches; %.1f MB on tertiary; disk has %d/%d clean segments\n"
+        s.Highlight.Hl.demand_fetches
+        (float_of_int s.Highlight.Hl.tertiary_live_bytes /. 1048576.0)
+        (Fs.nclean fs) prm.Param.nsegs;
+      Highlight.Hl.unmount hl);
+  Sim.Engine.run engine

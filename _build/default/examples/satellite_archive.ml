@@ -1,0 +1,103 @@
+(* Sequoia-style satellite archive (the paper's motivating workload,
+   §2): daily AVHRR-like image sets stream onto the disk farm, a
+   continuously-running migrator pushes dormant days to a Metrum-class
+   tape jukebox using the namespace-locality policy (each day's
+   directory is a migration unit, §5.3), and a researcher later
+   re-activates an old day — whose unit prefetch pulls the rest of the
+   day behind the first touch.
+
+     dune exec examples/satellite_archive.exe *)
+
+open Lfs
+
+let day_dir d = Printf.sprintf "/sequoia/day%03d" d
+
+let () =
+  let engine = Sim.Engine.create () in
+  Sim.Engine.spawn engine (fun () ->
+      let disk = Device.Disk.create engine Device.Disk.rz57 ~name:"diskfarm" in
+      (* a (scaled-down) Metrum tape robot: large volumes, slow swaps *)
+      let jukebox =
+        Device.Jukebox.create engine ~drives:2 ~nvolumes:6 ~vol_capacity:(100 * 256)
+          ~media:Device.Jukebox.metrum_tape ~changer:Device.Jukebox.metrum_changer "metrum"
+      in
+      let fp = Footprint.create ~seg_blocks:256 ~segs_per_volume:100 [ jukebox ] in
+      let prm = { (Param.default ~nsegs:40) with Param.max_inodes = 2048 } in
+      let hl = Highlight.Hl.mkfs engine prm ~disk:(Dev.of_disk disk) ~fp () in
+      let fs = Highlight.Hl.fs hl in
+      let st = Highlight.Hl.state hl in
+      ignore (Dir.mkdir fs "/sequoia");
+
+      let rng = Util.Rng.create 1993 in
+      let ndays = 10 in
+      let images_per_day = 6 in
+      (* the archive outgrows the disk farm; under write pressure the
+         migrator ships the most dormant day-units to tape at once *)
+      let migrate_dormant ~why =
+        let units =
+          Policy.Namespace.select fs
+            { Policy.Namespace.default_ranking with Policy.Namespace.min_idle = 3600.0 }
+            ~root:"/sequoia"
+            ~target_bytes:(8 * 1024 * 1024)
+          |> List.filter (fun u ->
+                 List.exists (Policy.Automigrate.disk_resident st) u.Policy.Namespace.inums)
+        in
+        List.iter
+          (fun u ->
+            Printf.printf "  [%s] day %s (%.1f MB, idle %.0fh) -> tape\n" why
+              u.Policy.Namespace.root_path
+              (float_of_int u.Policy.Namespace.total_bytes /. 1048576.0)
+              (u.Policy.Namespace.min_idle /. 3600.0);
+            ignore (Highlight.Migrator.migrate_files st u.Policy.Namespace.inums))
+          units;
+        ignore (Cleaner.clean_until fs ~target_clean:(prm.Param.nsegs * 2 / 3) ());
+        units <> []
+      in
+      let rec write_with_pressure path data =
+        try Highlight.Hl.write_file hl path data
+        with Fs.No_space ->
+          if migrate_dormant ~why:"pressure" then write_with_pressure path data
+          else Printf.printf "  archive full, dropping %s\n" path
+      in
+      Printf.printf "loading %d days of imagery (%d images/day)...\n" ndays images_per_day;
+      for d = 0 to ndays - 1 do
+        ignore (Dir.mkdir fs (day_dir d));
+        for i = 0 to images_per_day - 1 do
+          let path = Printf.sprintf "%s/img%02d.raw" (day_dir d) i in
+          let size = (512 + Util.Rng.int rng 512) * 1024 in
+          write_with_pressure path (Bytes.create size)
+        done;
+        (* a day passes *)
+        Sim.Engine.delay 86400.0;
+        (* the migration daemon's nightly wake-up: dormant day-units go
+           to tape when the disk runs low *)
+        (* the migration daemon's nightly wake-up *)
+        if Fs.nclean fs < prm.Param.nsegs / 2 then ignore (migrate_dormant ~why:"nightly")
+      done;
+
+      Printf.printf "\narchive state after %d days:\n" ndays;
+      print_string (Highlight.Hl_debug.render_hierarchy hl);
+
+      (* researcher re-activates day 1 for an analysis run *)
+      let target = day_dir 1 in
+      Highlight.Hl.set_prefetch_sequential hl ~depth:4;
+      Bcache.invalidate_clean (Fs.bcache fs);
+      Printf.printf "\nre-activating %s (reading every image)...\n" target;
+      let t0 = Sim.Engine.now engine in
+      let first_byte = ref None in
+      Dir.walk fs target (fun path ino ->
+          if ino.Inode.kind = Inode.Reg then begin
+            let data = File.read fs ino ~off:0 ~len:ino.Inode.size in
+            if !first_byte = None then first_byte := Some (Sim.Engine.now engine -. t0);
+            Printf.printf "  %s: %d KB\n" path (Bytes.length data / 1024)
+          end);
+      Printf.printf "first byte after %.1fs (tape load + seek); whole day in %.1fs\n"
+        (Option.value ~default:0.0 !first_byte)
+        (Sim.Engine.now engine -. t0);
+      let s = Highlight.Hl.stats hl in
+      Printf.printf "\n%d demand fetches, %d cache hits, %d segments on tape, %.1f MB tertiary live\n"
+        s.Highlight.Hl.demand_fetches s.Highlight.Hl.cache_hits
+        s.Highlight.Hl.tertiary_segments_used
+        (float_of_int s.Highlight.Hl.tertiary_live_bytes /. 1048576.0);
+      Highlight.Hl.unmount hl);
+  Sim.Engine.run engine

@@ -1,0 +1,1 @@
+lib/core/addr_space.ml: Format Lfs

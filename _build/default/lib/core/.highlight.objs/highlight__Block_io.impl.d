@@ -1,0 +1,1 @@
+lib/core/block_io.ml: Addr_space Footprint Lfs List Printf Seg_cache Sim State

@@ -1,0 +1,1 @@
+lib/core/hl.ml: Addr_space Bcache Bkey Block_io Bytes Cleaner Dev Dir File Footprint Fs Imap Inode Layout Lfs List Option Param Printf Seg_cache Segusage Service Sim State Superblock

@@ -1,0 +1,1 @@
+lib/core/hl.mli: Bytes Footprint Lfs Seg_cache Sim State

@@ -1,0 +1,1 @@
+lib/core/hl_debug.ml: Addr_space Buffer Debug Footprint Format Fs Hl Lfs List Param Printf Seg_cache Segusage Sim State

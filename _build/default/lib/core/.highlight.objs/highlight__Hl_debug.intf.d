@@ -1,0 +1,1 @@
+lib/core/hl_debug.mli: Hl

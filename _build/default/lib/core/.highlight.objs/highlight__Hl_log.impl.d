@@ -1,0 +1,1 @@
+lib/core/hl_log.ml: Logs

@@ -1,0 +1,1 @@
+lib/core/migrator.ml: Addr_space Bcache Bkey Block_io Bytes Dir File Footprint Fs Fun Hashtbl Hl_log Imap Inode Lfs List Option Param Queue Seg_cache Segusage Service Sim State Summary Util

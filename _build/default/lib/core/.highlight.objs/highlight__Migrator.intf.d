@@ -1,0 +1,1 @@
+lib/core/migrator.mli: Lfs State

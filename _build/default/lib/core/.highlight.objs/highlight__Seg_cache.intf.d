@@ -1,0 +1,1 @@
+lib/core/seg_cache.mli: Sim

@@ -1,0 +1,1 @@
+lib/core/service.ml: Addr_space Block_io Footprint Hashtbl Hl_log Lfs List Option Queue Seg_cache Sim State

@@ -1,0 +1,1 @@
+lib/core/state.ml: Addr_space Footprint Hashtbl Lfs Seg_cache Sim

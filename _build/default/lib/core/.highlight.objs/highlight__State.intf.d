@@ -1,0 +1,1 @@
+lib/core/state.mli: Addr_space Footprint Hashtbl Lfs Seg_cache Sim

@@ -1,0 +1,1 @@
+lib/core/tertiary_cleaner.ml: Addr_space Cleaner Footprint Fs Fun Hl_log Imap Inode Lfs List Migrator Option Seg_cache Segusage Service State Summary

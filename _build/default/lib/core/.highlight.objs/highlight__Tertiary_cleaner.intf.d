@@ -1,0 +1,1 @@
+lib/core/tertiary_cleaner.mli: Lfs State

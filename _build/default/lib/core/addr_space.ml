@@ -1,0 +1,88 @@
+type t = {
+  mutable disk_blocks : int;
+  seg_blocks : int;
+  nvolumes : int;
+  segs_per_volume : int;
+  total : int;
+  tertiary_base : int;  (* lowest tertiary address *)
+}
+
+let create ~disk_blocks ~seg_blocks ~nvolumes ~segs_per_volume ?(dead_zone_segs = 16) () =
+  if disk_blocks <= 0 || seg_blocks <= 0 || nvolumes <= 0 || segs_per_volume <= 0 then
+    invalid_arg "Addr_space.create";
+  let tertiary_blocks = nvolumes * segs_per_volume * seg_blocks in
+  let total = disk_blocks + (dead_zone_segs * seg_blocks) + tertiary_blocks in
+  { disk_blocks; seg_blocks; nvolumes; segs_per_volume; total; tertiary_base = total - tertiary_blocks }
+
+let of_config ~disk_blocks ~seg_blocks (tc : Lfs.Superblock.tertiary) =
+  let tertiary_blocks = tc.nvolumes * tc.segs_per_volume * seg_blocks in
+  {
+    disk_blocks;
+    seg_blocks;
+    nvolumes = tc.nvolumes;
+    segs_per_volume = tc.segs_per_volume;
+    total = tc.addr_space_blocks;
+    tertiary_base = tc.addr_space_blocks - tertiary_blocks;
+  }
+
+let grow_disk t ~disk_blocks =
+  if disk_blocks <= t.disk_blocks then invalid_arg "Addr_space.grow_disk: must grow";
+  if disk_blocks > t.tertiary_base then
+    invalid_arg "Addr_space.grow_disk: dead zone exhausted";
+  t.disk_blocks <- disk_blocks
+
+let total_blocks t = t.total
+let disk_blocks t = t.disk_blocks
+let seg_blocks t = t.seg_blocks
+let nvolumes t = t.nvolumes
+let segs_per_volume t = t.segs_per_volume
+let ntsegs t = t.nvolumes * t.segs_per_volume
+
+let is_disk t addr = addr >= 0 && addr < t.disk_blocks
+let is_tertiary t addr = addr >= t.tertiary_base && addr < t.total
+let is_dead_zone t addr = addr >= t.disk_blocks && addr < t.tertiary_base
+
+(* Volume v spans [total - (v+1)*P*S, total - v*P*S); slot j of volume v
+   starts at the bottom of that span plus j*S. *)
+let vol_span t = t.segs_per_volume * t.seg_blocks
+
+let tindex_of_addr t addr =
+  if not (is_tertiary t addr) then invalid_arg "Addr_space.tindex_of_addr: not tertiary";
+  let from_top = t.total - 1 - addr in
+  let vol = from_top / vol_span t in
+  let vol_base = t.total - ((vol + 1) * vol_span t) in
+  let seg = (addr - vol_base) / t.seg_blocks in
+  (vol * t.segs_per_volume) + seg
+
+let vol_seg_of_tindex t tindex =
+  if tindex < 0 || tindex >= ntsegs t then invalid_arg "Addr_space: bad tindex";
+  (tindex / t.segs_per_volume, tindex mod t.segs_per_volume)
+
+let tindex_of_vol_seg t ~vol ~seg =
+  if vol < 0 || vol >= t.nvolumes || seg < 0 || seg >= t.segs_per_volume then
+    invalid_arg "Addr_space: bad vol/seg";
+  (vol * t.segs_per_volume) + seg
+
+let seg_base t tindex =
+  let vol, seg = vol_seg_of_tindex t tindex in
+  let vol_base = t.total - ((vol + 1) * vol_span t) in
+  vol_base + (seg * t.seg_blocks)
+
+let offset_in_seg t addr =
+  if not (is_tertiary t addr) then invalid_arg "Addr_space.offset_in_seg: not tertiary";
+  (addr - t.tertiary_base) mod t.seg_blocks
+
+let pp_map fmt t =
+  Format.fprintf fmt "@[<v>address space: %d blocks (%d segments of %d blocks)@," t.total
+    (t.total / t.seg_blocks) t.seg_blocks;
+  Format.fprintf fmt "  [%10d .. %10d)  disk farm (%d segments + superblock area)@," 0
+    t.disk_blocks
+    ((t.disk_blocks / t.seg_blocks) - 1);
+  Format.fprintf fmt "  [%10d .. %10d)  dead zone (invalid addresses)@," t.disk_blocks
+    t.tertiary_base;
+  for vol = t.nvolumes - 1 downto 0 do
+    let lo = t.total - ((vol + 1) * vol_span t) in
+    Format.fprintf fmt "  [%10d .. %10d)  tertiary volume %d (%d segments)@," lo
+      (lo + vol_span t) vol t.segs_per_volume
+  done;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,54 @@
+(** HighLight's single 32-bit-style block address space (paper §6.3,
+    Fig. 4). Disks occupy the bottom of the space starting at block 0;
+    tertiary volumes are assigned to the top, the end of volume 0 at the
+    largest address and each later volume just below its predecessor;
+    between them lies a dead zone whose addresses are invalid (reserved
+    for adding devices later).
+
+    A tertiary segment is named by its [tindex] (volume * segs-per-volume
+    + slot); within a volume, segments sit at increasing addresses. *)
+
+type t
+
+val create :
+  disk_blocks:int ->
+  seg_blocks:int ->
+  nvolumes:int ->
+  segs_per_volume:int ->
+  ?dead_zone_segs:int ->
+  unit ->
+  t
+
+val of_config : disk_blocks:int -> seg_blocks:int -> Lfs.Superblock.tertiary -> t
+(** Rebuilds the address space from a superblock's tertiary record. *)
+
+val total_blocks : t -> int
+val disk_blocks : t -> int
+val seg_blocks : t -> int
+val nvolumes : t -> int
+val segs_per_volume : t -> int
+val ntsegs : t -> int
+
+val grow_disk : t -> disk_blocks:int -> unit
+(** Claims part of the dead zone for newly added disk segments (paper
+    §6.3: "the addition of tertiary or secondary storage is just a
+    matter of claiming part of the dead zone"). Fails if the new disk
+    range would reach the tertiary range. *)
+
+val is_disk : t -> int -> bool
+val is_tertiary : t -> int -> bool
+val is_dead_zone : t -> int -> bool
+
+val tindex_of_addr : t -> int -> int
+(** Tertiary segment index containing the address; the address must be
+    tertiary. *)
+
+val seg_base : t -> int -> int
+(** First block address of a tertiary segment. *)
+
+val offset_in_seg : t -> int -> int
+val vol_seg_of_tindex : t -> int -> int * int
+val tindex_of_vol_seg : t -> vol:int -> seg:int -> int
+
+val pp_map : Format.formatter -> t -> unit
+(** Renders the Fig. 4 address allocation. *)

@@ -1,0 +1,100 @@
+open State
+
+let raw_read_cache_line st ~disk_seg =
+  st.disk.Lfs.Dev.read ~blk:(disk_seg_base st disk_seg) ~count:(seg_blocks st)
+
+let raw_write_cache_line st ~disk_seg data =
+  st.disk.Lfs.Dev.write ~blk:(disk_seg_base st disk_seg) ~data
+
+(* Translate one tertiary extent (within a single tertiary segment) to
+   its cached on-disk location, demand-fetching on a miss. *)
+let rec tertiary_read st ~blk ~count =
+  let tindex = Addr_space.tindex_of_addr st.aspace blk in
+  let off = Addr_space.offset_in_seg st.aspace blk in
+  if off + count > seg_blocks st then
+    invalid_arg "Block_io: tertiary read crosses a segment boundary";
+  match Seg_cache.find st.cache tindex with
+  | Some line when line.Seg_cache.state = Seg_cache.Fetching ->
+      let t0 = Sim.Engine.now st.engine in
+      Sim.Condvar.wait line.Seg_cache.ready;
+      st.fetch_wait <- st.fetch_wait +. (Sim.Engine.now st.engine -. t0);
+      tertiary_read st ~blk ~count
+  | Some line ->
+      Seg_cache.note_hit st.cache;
+      Seg_cache.pin line;
+      Seg_cache.touch st.cache line ~now:(Sim.Engine.now st.engine);
+      let data =
+        st.disk.Lfs.Dev.read ~blk:(disk_seg_base st line.Seg_cache.disk_seg + off) ~count
+      in
+      Seg_cache.unpin line;
+      data
+  | None ->
+      Seg_cache.note_miss st.cache;
+      st.demand_fetches <- st.demand_fetches + 1;
+      (* tell the notification agent the caller is in for a wait *)
+      st.on_fetch_start tindex;
+      let line =
+        Seg_cache.insert st.cache ~tindex ~disk_seg:(-1) ~state:Seg_cache.Fetching
+          ~now:(Sim.Engine.now st.engine)
+      in
+      Sim.Mailbox.send st.service_mb
+        (Fetch { line; enqueued = Sim.Engine.now st.engine; is_prefetch = false });
+      (* prefetch hints ride behind the demand fetch, asynchronously *)
+      List.iter
+        (fun tindex' ->
+          if
+            tindex' >= 0
+            && tindex' < Addr_space.ntsegs st.aspace
+            && (Lfs.Segusage.get st.tseg tindex').Lfs.Segusage.state <> Lfs.Segusage.Clean
+            && Seg_cache.find st.cache tindex' = None
+          then begin
+            let line' =
+              Seg_cache.insert st.cache ~tindex:tindex' ~disk_seg:(-1)
+                ~state:Seg_cache.Fetching ~now:(Sim.Engine.now st.engine)
+            in
+            Sim.Mailbox.send st.service_mb
+              (Fetch { line = line'; enqueued = Sim.Engine.now st.engine; is_prefetch = true })
+          end)
+        (st.prefetch tindex);
+      let t0 = Sim.Engine.now st.engine in
+      Sim.Condvar.wait line.Seg_cache.ready;
+      st.fetch_wait <- st.fetch_wait +. (Sim.Engine.now st.engine -. t0);
+      tertiary_read st ~blk ~count
+
+let read_block_any st addr =
+  if Addr_space.is_disk st.aspace addr then st.disk.Lfs.Dev.read ~blk:addr ~count:1
+  else begin
+    let tindex = Addr_space.tindex_of_addr st.aspace addr in
+    let off = Addr_space.offset_in_seg st.aspace addr in
+    match Seg_cache.find st.cache tindex with
+    | Some line
+      when line.Seg_cache.state = Seg_cache.Resident
+           || line.Seg_cache.state = Seg_cache.Staging
+           || line.Seg_cache.state = Seg_cache.Staged_clean ->
+        st.disk.Lfs.Dev.read ~blk:(disk_seg_base st line.Seg_cache.disk_seg + off) ~count:1
+    | _ ->
+        let vol, seg = Addr_space.vol_seg_of_tindex st.aspace tindex in
+        Footprint.read_blocks st.fp ~vol ~seg ~off ~count:1
+  end
+
+let dev st =
+  let read ~blk ~count =
+    if Addr_space.is_disk st.aspace blk then st.disk.Lfs.Dev.read ~blk ~count
+    else if Addr_space.is_tertiary st.aspace blk then tertiary_read st ~blk ~count
+    else
+      invalid_arg
+        (Printf.sprintf "Block_io: read of dead-zone address %d" blk)
+  in
+  let write ~blk ~data =
+    if Addr_space.is_disk st.aspace blk then st.disk.Lfs.Dev.write ~blk ~data
+    else
+      invalid_arg
+        (Printf.sprintf
+           "Block_io: tertiary address %d is not writable through the block map" blk)
+  in
+  {
+    Lfs.Dev.nblocks = Addr_space.total_blocks st.aspace;
+    block_size = st.disk.Lfs.Dev.block_size;
+    read;
+    write;
+  }

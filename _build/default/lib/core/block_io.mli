@@ -1,0 +1,20 @@
+(** The block-map pseudo-device driver (paper §6.6): presents the whole
+    unified address space as one device to the LFS core. Disk addresses
+    pass straight to the concatenated disk driver; tertiary addresses
+    are looked up in the segment cache, triggering a demand fetch
+    through the service process on a miss — the reading process sleeps
+    until the service completes the fill, exactly as the paper's kernel
+    blocks the original I/O. *)
+
+val dev : State.t -> Lfs.Dev.t
+
+val raw_read_cache_line : State.t -> disk_seg:int -> Bytes.t
+(** Whole-segment raw read of a cache line (the I/O server's direct
+    disk access, bypassing the buffer cache). *)
+
+val raw_write_cache_line : State.t -> disk_seg:int -> Bytes.t -> unit
+
+val read_block_any : State.t -> int -> Bytes.t
+(** Reads one block wherever it lives: disk directly, tertiary via the
+    cache when resident or straight from the jukebox otherwise (used by
+    the tertiary cleaner, which reads whole volumes). *)

@@ -1,0 +1,306 @@
+open Lfs
+
+type t = {
+  st : State.t;
+  fsys : Fs.t;
+  shutdown : unit -> unit;
+  mutable observer : inum:int -> off:int -> len:int -> write:bool -> unit;
+}
+
+let fs t = t.fsys
+let state t = t.st
+let engine t = t.st.State.engine
+let cache t = t.st.State.cache
+
+let tseg_file_blocks st =
+  Segusage.nblocks ~nsegs:(Addr_space.ntsegs st.State.aspace)
+    ~block_size:st.State.disk.Dev.block_size
+
+(* The tsegfile (inum 3) is serialized at every checkpoint, before the
+   log flush, so the tertiary usage table is recoverable like the ifile
+   tables. *)
+let hooks st =
+  {
+    Fs.reclaim =
+      (fun () ->
+        match Seg_cache.choose_victim st.State.cache with
+        | Some victim ->
+            Service.eject st victim;
+            true
+        | None -> false);
+    is_foreign = (fun addr -> not (Addr_space.is_disk st.State.aspace addr));
+    account_foreign =
+      (fun ~addr delta ->
+        if Addr_space.is_tertiary st.State.aspace addr then
+          Segusage.add_live st.State.tseg (Addr_space.tindex_of_addr st.State.aspace addr) delta);
+    pre_checkpoint =
+      (fun fsys ->
+        let bs = (Fs.param fsys).Param.block_size in
+        match Fs.get_inode fsys 3 with
+        | exception Not_found -> ()
+        | tf ->
+            let dirty = Segusage.dirty_blocks st.State.tseg ~block_size:bs in
+            if dirty <> [] then begin
+              List.iter
+                (fun idx ->
+                  Fs.put_block fsys tf (Bkey.Data idx)
+                    (Segusage.serialize_block st.State.tseg ~block_size:bs idx))
+                dirty;
+              Segusage.clear_dirty st.State.tseg;
+              Fs.mark_inode_dirty fsys tf
+            end);
+  }
+
+let mkfs engine prm ~disk ~fp ?cache_segs ?(cache_policy = Seg_cache.Lru)
+    ?(dead_zone_segs = 64) () =
+  Param.validate prm;
+  if prm.Param.seg_blocks <> Footprint.seg_blocks fp then
+    invalid_arg "Hl.mkfs: footprint segment size differs from the file system's";
+  let cache_segs = Option.value cache_segs ~default:(max 2 (prm.Param.nsegs / 4)) in
+  let disk_blocks = Layout.disk_blocks prm in
+  let aspace =
+    Addr_space.create ~disk_blocks ~seg_blocks:prm.Param.seg_blocks
+      ~nvolumes:(Footprint.nvolumes fp)
+      ~segs_per_volume:(Footprint.segs_per_volume fp) ~dead_zone_segs ()
+  in
+  let cache = Seg_cache.create ~policy:cache_policy ~max_lines:cache_segs () in
+  let st = State.create ~engine ~aspace ~disk ~fp ~cache in
+  let dev = Block_io.dev st in
+  let tertiary =
+    {
+      Superblock.addr_space_blocks = Addr_space.total_blocks aspace;
+      nvolumes = Footprint.nvolumes fp;
+      segs_per_volume = Footprint.segs_per_volume fp;
+      cache_segs;
+    }
+  in
+  let fsys = Fs.mkfs engine prm dev ~tertiary () in
+  st.State.fs <- Some fsys;
+  Fs.set_hooks fsys (hooks st);
+  (* size the tsegfile and persist its initial (all-clean) contents *)
+  let tf = Fs.get_inode fsys 3 in
+  tf.Inode.size <- tseg_file_blocks st * prm.Param.block_size;
+  Segusage.mark_all_dirty st.State.tseg;
+  Fs.checkpoint fsys;
+  let shutdown = Service.spawn st in
+  { st; fsys; shutdown; observer = (fun ~inum:_ ~off:_ ~len:_ ~write:_ -> ()) }
+
+let mount engine ~disk ~fp ?cpu ?bcache_blocks ?(cache_policy = Seg_cache.Lru) () =
+  (* peek at the superblock for the tertiary configuration *)
+  let sb_block = disk.Dev.read ~blk:Layout.superblock_addr ~count:1 in
+  let sb =
+    match Superblock.deserialize sb_block with
+    | Ok sb -> sb
+    | Error msg -> failwith ("Hl.mount: " ^ msg)
+  in
+  let tc =
+    match sb.Superblock.tertiary with
+    | Some tc -> tc
+    | None -> failwith "Hl.mount: not a HighLight file system (no tertiary config)"
+  in
+  if tc.Superblock.nvolumes <> Footprint.nvolumes fp
+     || tc.Superblock.segs_per_volume <> Footprint.segs_per_volume fp
+  then failwith "Hl.mount: footprint does not match the recorded tertiary configuration";
+  let disk_blocks = (sb.Superblock.nsegs + 1) * sb.Superblock.seg_blocks in
+  let aspace = Addr_space.of_config ~disk_blocks ~seg_blocks:sb.Superblock.seg_blocks tc in
+  let cache =
+    Seg_cache.create ~policy:cache_policy ~max_lines:tc.Superblock.cache_segs ()
+  in
+  let st = State.create ~engine ~aspace ~disk ~fp ~cache in
+  let dev = Block_io.dev st in
+  let fsys = Fs.mount engine ?cpu ?bcache_blocks dev in
+  st.State.fs <- Some fsys;
+  (* rebuild the tertiary usage table from the tsegfile *)
+  let bs = (Fs.param fsys).Param.block_size in
+  (match Fs.get_inode fsys 3 with
+  | exception Not_found -> failwith "Hl.mount: tsegfile missing"
+  | tf ->
+      for idx = 0 to tseg_file_blocks st - 1 do
+        match Fs.get_block fsys tf (Bkey.Data idx) with
+        | Some b -> Segusage.load_block st.State.tseg ~block_size:bs idx b
+        | None -> ()
+      done;
+      Segusage.clear_dirty st.State.tseg);
+  Fs.set_hooks fsys (hooks st);
+  (* reconstruct the cache directory from the segusage cache tags; the
+     cached copies on disk are still valid read-only copies *)
+  Segusage.iter (Fs.seguse fsys) (fun seg e ->
+      if e.Segusage.state = Segusage.Cached && e.Segusage.cache_tag >= 0 then
+        ignore
+          (Seg_cache.insert st.State.cache ~tindex:e.Segusage.cache_tag ~disk_seg:seg
+             ~state:Seg_cache.Resident ~now:(Sim.Engine.now engine)));
+  let shutdown = Service.spawn st in
+  { st; fsys; shutdown; observer = (fun ~inum:_ ~off:_ ~len:_ ~write:_ -> ()) }
+
+let grow_disk t ~added_segs ?new_disk () =
+  let prm = Fs.param t.fsys in
+  let new_blocks = (prm.Param.nsegs + 1 + added_segs) * prm.Param.seg_blocks in
+  Addr_space.grow_disk t.st.State.aspace ~disk_blocks:new_blocks;
+  (match new_disk with
+  | Some d ->
+      if d.Dev.nblocks < new_blocks then invalid_arg "Hl.grow_disk: new farm too small";
+      (* the raw farm is swapped underneath the block-map driver; the
+         file system keeps talking to the same unified address space *)
+      t.st.State.disk <- d
+  | None -> ());
+  Fs.grow t.fsys ~added_segs ()
+
+(* Hands-off operation: the cleaner and the automigrator daemons are
+   usually spawned from Policy; this starts the cleaner half, which has
+   no policy dependencies. *)
+let spawn_cleaner_daemon t ?(period = 30.0) ~low_water ~high_water () =
+  Cleaner.spawn_daemon t.fsys ~period ~low_water ~high_water ()
+
+let unmount t =
+  Fs.unmount t.fsys;
+  t.shutdown ()
+
+let set_prefetch_sequential t ~depth =
+  let spv = Addr_space.segs_per_volume t.st.State.aspace in
+  t.st.State.prefetch <-
+    (fun tindex ->
+      (* stay within the same volume: crossing volumes means a swap *)
+      List.init depth (fun i -> tindex + i + 1)
+      |> List.filter (fun x -> x / spv = tindex / spv))
+
+let set_prefetch_hints t f = t.st.State.prefetch <- f
+
+let eject_tertiary_copies t ~paths =
+  let fsys = t.fsys in
+  List.iter
+    (fun path ->
+      match Dir.namei_opt fsys path with
+      | None -> ()
+      | Some ino ->
+          File.iter_assigned_blocks fsys ino (fun bkey addr ->
+              if Addr_space.is_tertiary t.st.State.aspace addr then begin
+                (* never drop a dirty buffer: it holds unflushed edits
+                   that supersede the tertiary copy *)
+                if not (Bcache.is_dirty (Fs.bcache fsys) (ino.Inode.inum, bkey)) then
+                  Bcache.drop (Fs.bcache fsys) (ino.Inode.inum, bkey);
+                let tindex = Addr_space.tindex_of_addr t.st.State.aspace addr in
+                match Seg_cache.find t.st.State.cache tindex with
+                | Some line
+                  when line.Seg_cache.state = Seg_cache.Resident
+                       || line.Seg_cache.state = Seg_cache.Staged_clean ->
+                    Service.eject t.st line
+                | _ -> ()
+              end);
+          (* the inode itself may live on tertiary storage *)
+          let e = Imap.get (Fs.imap fsys) ino.Inode.inum in
+          if e.Imap.addr > 0 && Addr_space.is_tertiary t.st.State.aspace e.Imap.addr then begin
+            let tindex = Addr_space.tindex_of_addr t.st.State.aspace e.Imap.addr in
+            match Seg_cache.find t.st.State.cache tindex with
+            | Some line
+              when line.Seg_cache.state = Seg_cache.Resident
+                   || line.Seg_cache.state = Seg_cache.Staged_clean ->
+                Service.eject t.st line
+            | _ -> ()
+          end)
+    paths
+
+type fetch_event = Fetch_started of int | Fetch_completed of int
+
+let set_fetch_notifier t f =
+  t.st.State.on_fetch_start <- (fun tindex -> f (Fetch_started tindex));
+  let previous = t.st.State.on_fetch in
+  t.st.State.on_fetch <-
+    (fun tindex ->
+      previous tindex;
+      f (Fetch_completed tindex))
+
+let set_access_observer t f = t.observer <- f
+
+let write_file t path ?(off = 0) data =
+  let ino =
+    match Dir.namei_opt t.fsys path with
+    | Some ino -> ino
+    | None -> Dir.create_file t.fsys path
+  in
+  t.observer ~inum:ino.Inode.inum ~off ~len:(Bytes.length data) ~write:true;
+  File.write t.fsys ino ~off data
+
+let read_file t path ?(off = 0) ?len () =
+  let ino = Dir.namei t.fsys path in
+  let len = Option.value len ~default:(ino.Inode.size - off) in
+  t.observer ~inum:ino.Inode.inum ~off ~len ~write:false;
+  File.read t.fsys ino ~off ~len
+
+type stats = {
+  demand_fetches : int;
+  writeouts : int;
+  rehomes : int;
+  fetch_wait : float;
+  queue_time : float;
+  io_disk_time : float;
+  footprint_time : float;
+  cache_lines : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  blocks_migrated : int;
+  bytes_migrated : int;
+  segments_staged : int;
+  inodes_migrated : int;
+  tertiary_live_bytes : int;
+  tertiary_segments_used : int;
+}
+
+let stats t =
+  let st = t.st in
+  {
+    demand_fetches = st.State.demand_fetches;
+    writeouts = st.State.writeouts;
+    rehomes = st.State.rehomes;
+    fetch_wait = st.State.fetch_wait;
+    queue_time = st.State.queue_time;
+    io_disk_time = st.State.io_disk_time;
+    footprint_time = Footprint.time_in_footprint st.State.fp;
+    cache_lines = Seg_cache.length st.State.cache;
+    cache_hits = Seg_cache.hits st.State.cache;
+    cache_misses = Seg_cache.misses st.State.cache;
+    cache_evictions = Seg_cache.evictions st.State.cache;
+    blocks_migrated = st.State.blocks_migrated;
+    bytes_migrated = st.State.bytes_migrated;
+    segments_staged = st.State.segments_staged;
+    inodes_migrated = st.State.inodes_migrated;
+    tertiary_live_bytes = State.tertiary_live_bytes st;
+    tertiary_segments_used = State.tertiary_segments_used st;
+  }
+
+let reset_stats t =
+  let st = t.st in
+  st.State.demand_fetches <- 0;
+  st.State.writeouts <- 0;
+  st.State.rehomes <- 0;
+  st.State.fetch_wait <- 0.0;
+  st.State.queue_time <- 0.0;
+  st.State.io_disk_time <- 0.0;
+  st.State.blocks_migrated <- 0;
+  st.State.bytes_migrated <- 0;
+  st.State.segments_staged <- 0;
+  st.State.inodes_migrated <- 0;
+  Footprint.reset_stats st.State.fp
+
+let check t =
+  let problems = ref (Fs.check t.fsys) in
+  let complain fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  (* every cache line must sit on a Cached disk segment tagged with it *)
+  Seg_cache.iter t.st.State.cache (fun line ->
+      if line.Seg_cache.disk_seg >= 0 then begin
+        let e = Segusage.get (Fs.seguse t.fsys) line.Seg_cache.disk_seg in
+        if e.Segusage.state <> Segusage.Cached then
+          complain "cache line for tseg %d: disk seg %d not in Cached state"
+            line.Seg_cache.tindex line.Seg_cache.disk_seg;
+        if e.Segusage.cache_tag <> line.Seg_cache.tindex then
+          complain "cache line for tseg %d: disk seg %d tagged %d" line.Seg_cache.tindex
+            line.Seg_cache.disk_seg e.Segusage.cache_tag
+      end);
+  (* and every Cached segusage entry must be in the directory *)
+  Segusage.iter (Fs.seguse t.fsys) (fun seg e ->
+      if e.Segusage.state = Segusage.Cached then
+        match Seg_cache.find t.st.State.cache e.Segusage.cache_tag with
+        | Some line when line.Seg_cache.disk_seg = seg -> ()
+        | _ -> complain "Cached segment %d (tag %d) missing from cache directory" seg
+                 e.Segusage.cache_tag);
+  List.rev !problems

@@ -1,0 +1,122 @@
+(** HighLight: the public face of the hierarchy-managing file system.
+
+    A HighLight instance is an LFS whose address space extends over one
+    or more jukeboxes behind a {!Footprint} interface. Applications use
+    the ordinary {!Lfs.Dir} / {!Lfs.File} operations against {!fs};
+    tertiary residency is invisible except through access times, exactly
+    as the paper promises. The {!Migrator} moves data down the
+    hierarchy, the service/I/O processes fetch it back on demand.
+
+    {[
+      let hl = Hl.mkfs engine prm ~disk ~fp () in
+      let f = Lfs.Dir.create_file (Hl.fs hl) "/data" in
+      Lfs.File.write (Hl.fs hl) f ~off:0 payload;
+      ignore (Migrator.migrate_paths (Hl.state hl) [ "/data" ]);
+      (* reads now demand-fetch from the jukebox transparently *)
+      let again = Lfs.File.read (Hl.fs hl) f ~off:0 ~len:4096 in
+      ...
+    ]} *)
+
+type t
+
+val mkfs :
+  Sim.Engine.t ->
+  Lfs.Param.t ->
+  disk:Lfs.Dev.t ->
+  fp:Footprint.t ->
+  ?cache_segs:int ->
+  ?cache_policy:Seg_cache.policy ->
+  ?dead_zone_segs:int ->
+  unit ->
+  t
+(** Formats the disk farm as a HighLight file system whose tertiary
+    space covers every volume of [fp]. [cache_segs] caps the disk
+    segments usable as tertiary cache lines (default: a quarter of the
+    disk segments), fixed at file-system creation like the paper's
+    static split. [dead_zone_segs] (default 64) sizes the invalid
+    address range between disk and tertiary space, i.e. the headroom
+    for {!grow_disk}. *)
+
+val mount :
+  Sim.Engine.t ->
+  disk:Lfs.Dev.t ->
+  fp:Footprint.t ->
+  ?cpu:Lfs.Param.cpu ->
+  ?bcache_blocks:int ->
+  ?cache_policy:Seg_cache.policy ->
+  unit ->
+  t
+
+val spawn_cleaner_daemon :
+  t -> ?period:float -> low_water:int -> high_water:int -> unit -> unit -> unit
+(** Background segment cleaner (the paper's user-level cleaner process);
+    returns the shutdown function. The automigration daemon lives in
+    [Policy.Automigrate.spawn], which composes with this. *)
+
+val unmount : t -> unit
+
+val fs : t -> Lfs.Fs.t
+val state : t -> State.t
+val engine : t -> Sim.Engine.t
+val cache : t -> Seg_cache.t
+
+val grow_disk : t -> added_segs:int -> ?new_disk:Lfs.Dev.t -> unit -> unit
+(** On-line disk addition (paper §6.3/§6.4): the new log segments claim
+    part of the address-space dead zone; the ifile tables are extended
+    and the superblock rewritten, all while mounted. Pass [new_disk]
+    when the farm gains a spindle (e.g. a new concatenation). *)
+
+val set_prefetch_sequential : t -> depth:int -> unit
+(** On a demand fetch, also stage the next [depth] segments of the same
+    volume (the clustered-layout prefetch of paper §5.1/§5.3). *)
+
+val set_prefetch_hints : t -> (int -> int list) -> unit
+(** Arbitrary prefetch policy: given a fetched tindex, more to load. *)
+
+val eject_tertiary_copies : t -> paths:string list -> unit
+(** Drops the cached copies of the tertiary segments holding these
+    files' blocks (benchmark support: force future reads to fetch). *)
+
+type fetch_event = Fetch_started of int | Fetch_completed of int
+
+val set_fetch_notifier : t -> (fetch_event -> unit) -> unit
+(** The user-notification agent of paper §10: invoked when a process is
+    about to block on a tertiary access ("hold on") and when the fetch
+    completes. Composes with any prefetch hints already installed. *)
+
+(** {1 Convenience I/O}
+
+    Thin wrappers over {!Lfs.File} that also feed an access observer
+    (used by the block-range migration policy, paper §5.2). *)
+
+val set_access_observer : t -> (inum:int -> off:int -> len:int -> write:bool -> unit) -> unit
+val write_file : t -> string -> ?off:int -> Bytes.t -> unit
+val read_file : t -> string -> ?off:int -> ?len:int -> unit -> Bytes.t
+
+(** {1 Introspection} *)
+
+type stats = {
+  demand_fetches : int;
+  writeouts : int;
+  rehomes : int;
+  fetch_wait : float;
+  queue_time : float;
+  io_disk_time : float;
+  footprint_time : float;
+  cache_lines : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  blocks_migrated : int;
+  bytes_migrated : int;
+  segments_staged : int;
+  inodes_migrated : int;
+  tertiary_live_bytes : int;
+  tertiary_segments_used : int;
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit
+val check : t -> string list
+(** LFS invariants plus hierarchy invariants (cache directory vs
+    segusage tags, tertiary table consistency). *)

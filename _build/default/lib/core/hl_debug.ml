@@ -1,0 +1,83 @@
+open Lfs
+
+let render_hierarchy t =
+  let st = Hl.state t in
+  let fsys = Hl.fs t in
+  let prm = Fs.param fsys in
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "                    applications\n";
+  add "                         |  reads; initial writes\n";
+  add "                         v\n";
+  add "  +----------------- file system ------------------+\n";
+  add "  |  disk farm: %d segments x %d KB (%d clean)      \n" prm.Param.nsegs
+    (Param.seg_bytes prm / 1024) (Fs.nclean fsys);
+  add "  |  segment cache: %d/%d lines in use\n"
+    (Seg_cache.length st.State.cache)
+    (Seg_cache.max_lines st.State.cache);
+  add "  +----------------------+--------------------------+\n";
+  add "        automigration    |    caching (demand fetch)\n";
+  add "                         v\n";
+  List.iter (fun line -> add "  jukebox  %s\n" line) (Footprint.describe st.State.fp);
+  add "  tertiary space: %d volumes x %d segments; %d segments in use, %d KB live\n"
+    (Addr_space.nvolumes st.State.aspace)
+    (Addr_space.segs_per_volume st.State.aspace)
+    (State.tertiary_segments_used st)
+    (State.tertiary_live_bytes st / 1024);
+  Buffer.contents buf
+
+let render_layout t =
+  let st = Hl.state t in
+  let fsys = Hl.fs t in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "log contents (disk):\n";
+  Buffer.add_string buf (Debug.render_map fsys);
+  Buffer.add_string buf "\n  (.=clean d=dirty A=active C=cached-tertiary)\n";
+  Buffer.add_string buf "cached tertiary segments:\n";
+  Seg_cache.iter st.State.cache (fun line ->
+      Buffer.add_string buf
+        (Printf.sprintf "  tertiary seg %d -> disk seg %d  [%s]%s\n" line.Seg_cache.tindex
+           line.Seg_cache.disk_seg
+           (match line.Seg_cache.state with
+           | Seg_cache.Fetching -> "fetching"
+           | Seg_cache.Resident -> "resident"
+           | Seg_cache.Staging -> "staging"
+           | Seg_cache.Staged_clean -> "staged/clean")
+           (if line.Seg_cache.pins > 0 then Printf.sprintf " pins=%d" line.Seg_cache.pins
+            else "")));
+  Buffer.add_string buf "log contents (tertiary, in tsegfile):\n  ";
+  Segusage.iter st.State.tseg (fun _ e ->
+      Buffer.add_char buf
+        (match e.Segusage.state with
+        | Segusage.Clean -> '.'
+        | Segusage.Dirty -> 'd'
+        | Segusage.Active -> 'a'
+        | Segusage.Cached -> 'C'));
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let render_address_map t =
+  Format.asprintf "%a" Addr_space.pp_map (Hl.state t).State.aspace
+
+let render_architecture t =
+  let st = Hl.state t in
+  let s = Hl.stats t in
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "  user space        | regular cleaner |  | migration \"cleaner\" |\n";
+  add "                    +--------+--------+  +----------+----------+\n";
+  add "                             |  lfs_bmapv/migratev  |\n";
+  add "  ===========================v======================v============\n";
+  add "  kernel            +------ HighLight file system ------+\n";
+  add "                    | block map driver & segment cache  |\n";
+  add "                    +---+---------------------------+---+\n";
+  add "                        | concatenated disk driver  | tertiary driver\n";
+  add "                        v                           v\n";
+  add "  service queue: %d waiting   demand fetches: %d   writeouts: %d (rehomed %d)\n"
+    (Sim.Mailbox.length st.State.service_mb)
+    s.Hl.demand_fetches s.Hl.writeouts s.Hl.rehomes;
+  add "  I/O server: disk %.2fs, footprint %.2fs, queueing %.2fs\n" s.Hl.io_disk_time
+    s.Hl.footprint_time s.Hl.queue_time;
+  add "  segment cache: %d lines, %d hits / %d misses, %d evictions\n" s.Hl.cache_lines
+    s.Hl.cache_hits s.Hl.cache_misses s.Hl.cache_evictions;
+  Buffer.contents buf

@@ -1,0 +1,18 @@
+(** Machine-generated renderings of a live HighLight instance, used by
+    the benchmark harness to reproduce the paper's architecture and
+    layout figures (Figs. 2-5) from actual system state. *)
+
+val render_hierarchy : Hl.t -> string
+(** Fig. 2: the storage hierarchy — disk farm, jukebox(es), migration
+    and caching paths, with live capacities. *)
+
+val render_layout : Hl.t -> string
+(** Fig. 3: HighLight's data layout — disk segments (including cached
+    tertiary segments) and the tertiary segment map. *)
+
+val render_address_map : Hl.t -> string
+(** Fig. 4: allocation of block addresses to devices. *)
+
+val render_architecture : Hl.t -> string
+(** Fig. 5: the layered component architecture annotated with live
+    queue lengths and counters. *)

@@ -1,0 +1,5 @@
+(* Log source for the HighLight layer; enable with
+   Logs.Src.set_level Hl_log.src (Some Debug) and any reporter. *)
+let src = Logs.Src.create "highlight" ~doc:"HighLight storage hierarchy"
+
+module Log = (val Logs.src_log src)

@@ -1,0 +1,7 @@
+(** The library's {!Logs} source ("highlight"): service/I-O traffic,
+    migration batches, re-homing and tertiary cleaning at [Debug];
+    end-of-medium and reclaim events at [Info]. *)
+
+val src : Logs.src
+
+module Log : Logs.LOG

@@ -1,0 +1,115 @@
+type state = Fetching | Resident | Staging | Staged_clean
+
+type line = {
+  mutable tindex : int;
+  mutable disk_seg : int;
+  mutable state : state;
+  mutable pins : int;
+  mutable last_use : float;
+  mutable fetched_at : float;
+  mutable worthy : bool;
+  ready : Sim.Condvar.t;
+}
+
+type policy = Lru | Random_evict | Least_worthy
+
+type t = {
+  table : (int, line) Hashtbl.t;
+  mutable pol : policy;
+  rng : Util.Rng.t;
+  max : int;
+  mutable n_hits : int;
+  mutable n_misses : int;
+  mutable n_evictions : int;
+}
+
+let create ?(policy = Lru) ?(seed = 1993) ~max_lines () =
+  if max_lines <= 0 then invalid_arg "Seg_cache.create";
+  {
+    table = Hashtbl.create 64;
+    pol = policy;
+    rng = Util.Rng.create seed;
+    max = max_lines;
+    n_hits = 0;
+    n_misses = 0;
+    n_evictions = 0;
+  }
+
+let policy t = t.pol
+let set_policy t p = t.pol <- p
+let max_lines t = t.max
+let length t = Hashtbl.length t.table
+let find t tindex = Hashtbl.find_opt t.table tindex
+
+let insert t ~tindex ~disk_seg ~state ~now =
+  if Hashtbl.mem t.table tindex then invalid_arg "Seg_cache.insert: already cached";
+  let line =
+    {
+      tindex;
+      disk_seg;
+      state;
+      pins = 0;
+      last_use = now;
+      fetched_at = now;
+      worthy = false;
+      ready = Sim.Condvar.create ();
+    }
+  in
+  Hashtbl.replace t.table tindex line;
+  line
+
+let touch _t line ~now =
+  if line.last_use > line.fetched_at then line.worthy <- true;
+  line.last_use <- now
+
+let pin line = line.pins <- line.pins + 1
+
+let unpin line =
+  if line.pins <= 0 then invalid_arg "Seg_cache.unpin: not pinned";
+  line.pins <- line.pins - 1
+
+let evictable line =
+  line.pins = 0 && (line.state = Resident || line.state = Staged_clean)
+
+let choose_victim t =
+  let candidates = Hashtbl.fold (fun _ l acc -> if evictable l then l :: acc else acc) t.table [] in
+  match candidates with
+  | [] -> None
+  | _ -> (
+      match t.pol with
+      | Lru ->
+          Some
+            (List.fold_left
+               (fun best l -> if l.last_use < best.last_use then l else best)
+               (List.hd candidates) (List.tl candidates))
+      | Random_evict ->
+          Some (List.nth candidates (Util.Rng.int t.rng (List.length candidates)))
+      | Least_worthy -> (
+          (* lines never re-referenced go first (oldest fetch first);
+             otherwise fall back to LRU among the worthy *)
+          let unworthy = List.filter (fun l -> not l.worthy) candidates in
+          match unworthy with
+          | [] ->
+              Some
+                (List.fold_left
+                   (fun best l -> if l.last_use < best.last_use then l else best)
+                   (List.hd candidates) (List.tl candidates))
+          | u :: us ->
+              Some (List.fold_left (fun best l -> if l.fetched_at < best.fetched_at then l else best) u us)))
+
+let retag t line tindex =
+  if Hashtbl.mem t.table tindex then invalid_arg "Seg_cache.retag: target cached";
+  Hashtbl.remove t.table line.tindex;
+  line.tindex <- tindex;
+  Hashtbl.replace t.table tindex line
+
+let remove t line = Hashtbl.remove t.table line.tindex
+let iter t f = Hashtbl.iter (fun _ l -> f l) t.table
+let lines t = Hashtbl.fold (fun _ l acc -> l :: acc) t.table []
+
+let hits t = t.n_hits
+let misses t = t.n_misses
+let note_hit t = t.n_hits <- t.n_hits + 1
+let note_miss t = t.n_misses <- t.n_misses + 1
+let evictions t = t.n_evictions
+let note_eviction t = t.n_evictions <- t.n_evictions + 1

@@ -1,0 +1,69 @@
+(** Directory of on-disk cache lines holding tertiary segments (paper
+    §6.4). A line is a whole disk segment: either a read-only copy of a
+    tertiary-resident segment (Resident) or a staging segment being
+    assembled/awaiting copy-out (Staging → Staged_clean once safely on
+    tertiary storage). Lines are pinned during I/O; unpinned read-only
+    lines may be discarded at any time, since the tertiary copy
+    survives.
+
+    Eviction policies: LRU, uniform random, and the paper's §10
+    "least-worthy" hybrid, where a line fetched but not re-referenced is
+    sacrificed before lines that proved their worth. *)
+
+type state =
+  | Fetching  (** allocation done, tertiary read in flight *)
+  | Resident  (** read-only copy, identical to tertiary *)
+  | Staging  (** being assembled; the only copy — not evictable *)
+  | Staged_clean  (** assembled and copied out; evictable *)
+
+type line = {
+  mutable tindex : int;
+  mutable disk_seg : int;
+  mutable state : state;
+  mutable pins : int;
+  mutable last_use : float;
+  mutable fetched_at : float;
+  mutable worthy : bool;  (** re-referenced since fetch *)
+  ready : Sim.Condvar.t;  (** broadcast when Fetching completes *)
+}
+
+type policy = Lru | Random_evict | Least_worthy
+
+type t
+
+val create : ?policy:policy -> ?seed:int -> max_lines:int -> unit -> t
+val policy : t -> policy
+val set_policy : t -> policy -> unit
+val max_lines : t -> int
+val length : t -> int
+
+val find : t -> int -> line option
+(** Look up by tertiary segment index (no use-marking). *)
+
+val insert : t -> tindex:int -> disk_seg:int -> state:state -> now:float -> line
+(** Fails if the tindex is already present. The [max_lines] cap is a
+    target enforced by the service process's ejections, not here. *)
+
+val retag : t -> line -> int -> unit
+(** Re-keys a line to a new tertiary segment (end-of-medium re-home). *)
+
+val touch : t -> line -> now:float -> unit
+(** Marks a use (promotes worthiness). *)
+
+val pin : line -> unit
+val unpin : line -> unit
+
+val choose_victim : t -> line option
+(** An unpinned, evictable (Resident / Staged_clean) line according to
+    the policy, or [None]. The line is not removed. *)
+
+val remove : t -> line -> unit
+val iter : t -> (line -> unit) -> unit
+val lines : t -> line list
+
+val hits : t -> int
+val misses : t -> int
+val note_hit : t -> unit
+val note_miss : t -> unit
+val evictions : t -> int
+val note_eviction : t -> unit

@@ -1,0 +1,284 @@
+open State
+
+let now st = Sim.Engine.now st.engine
+
+let eject st line =
+  if line.Seg_cache.pins > 0 then invalid_arg "Service.eject: line pinned";
+  (match line.Seg_cache.state with
+  | Seg_cache.Resident | Seg_cache.Staged_clean -> ()
+  | Seg_cache.Fetching | Seg_cache.Staging ->
+      invalid_arg "Service.eject: line not evictable");
+  Hl_log.Log.debug (fun m ->
+      m "eject cache line: tseg %d (disk seg %d)" line.Seg_cache.tindex line.Seg_cache.disk_seg);
+  Seg_cache.remove st.cache line;
+  Seg_cache.note_eviction st.cache;
+  if line.Seg_cache.disk_seg >= 0 then
+    Lfs.Fs.release_segment (fs st) line.Seg_cache.disk_seg
+
+let eject_idle st ~keep =
+  let ejected = ref 0 in
+  let rec go () =
+    if Seg_cache.length st.cache > keep then
+      match Seg_cache.choose_victim st.cache with
+      | Some victim ->
+          eject st victim;
+          incr ejected;
+          go ()
+      | None -> ()
+  in
+  go ();
+  !ejected
+
+(* One allocation attempt: evict past the cap or a victim if needed,
+   but never wait. *)
+let try_allocate ?(staging = false) st =
+  let fsys = fs st in
+  let cap = Seg_cache.max_lines st.cache in
+  if Seg_cache.length st.cache > cap then
+    Option.iter (eject st) (Seg_cache.choose_victim st.cache);
+  match Lfs.Fs.alloc_clean_segment fsys ~for_cache:(not staging) with
+  | Some seg -> Some seg
+  | None -> (
+      match Seg_cache.choose_victim st.cache with
+      | Some victim ->
+          eject st victim;
+          Lfs.Fs.alloc_clean_segment fsys ~for_cache:(not staging)
+      | None -> None)
+
+(* Obtain a disk segment to serve as a cache line, ejecting victims when
+   the clean pool or the static cache cap is exhausted. [staging] lines
+   (migration) may dig past the cleaner's reserve. *)
+let allocate_cache_line ?(staging = false) st =
+  let fsys = fs st in
+  let cap = Seg_cache.max_lines st.cache in
+  let rec go tries =
+    if tries > 100000 then failwith "Service: no cache line obtainable";
+    if Seg_cache.length st.cache > cap then begin
+      match Seg_cache.choose_victim st.cache with
+      | Some victim ->
+          eject st victim;
+          go (tries + 1)
+      | None ->
+          Sim.Engine.delay 0.005;
+          go (tries + 1)
+    end
+    else
+      match Lfs.Fs.alloc_clean_segment fsys ~for_cache:(not staging) with
+      | Some seg -> seg
+      | None -> (
+          match Seg_cache.choose_victim st.cache with
+          | Some victim ->
+              eject st victim;
+              go (tries + 1)
+          | None ->
+              (* everything pinned or staging: wait for progress *)
+              Sim.Engine.delay 0.005;
+              go (tries + 1))
+  in
+  go 0
+
+(* ---------- the I/O process proper ---------- *)
+
+type io_request =
+  | Io_fetch of Seg_cache.line * Sim.Condvar.t
+  | Io_writeout of Seg_cache.line * writeout_status ref * Sim.Condvar.t
+
+(* End-of-medium: the staged segment must move to another volume, which
+   changes every block's tertiary address; re-aim the live pointers and
+   re-key the cache line (paper §6.3's "the last segment is re-written
+   onto the next volume"). *)
+let rehome st line =
+  let fsys = fs st in
+  let old_tindex = line.Seg_cache.tindex in
+  let manifest = Option.value ~default:[] (Hashtbl.find_opt st.manifests old_tindex) in
+  let new_tindex = next_tseg st in
+  let old_base = Addr_space.seg_base st.aspace old_tindex in
+  let new_base = Addr_space.seg_base st.aspace new_tindex in
+  let moved =
+    List.filter_map
+      (fun entry ->
+        match entry with
+        | Staged_block sb -> (
+            match Lfs.Fs.get_inode fsys sb.sb_inum with
+            | exception Not_found -> None
+            | ino ->
+                (* a block dirtied since staging will be re-written to the
+                   disk log by the next flush; its staged copy is dead *)
+                if
+                  Lfs.Fs.lookup_addr fsys ino sb.sb_bkey = sb.sb_taddr
+                  && not (Lfs.Bcache.is_dirty (Lfs.Fs.bcache fsys) (sb.sb_inum, sb.sb_bkey))
+                then begin
+                  let new_addr = new_base + (sb.sb_taddr - old_base) in
+                  Lfs.Fs.repoint fsys ino sb.sb_bkey new_addr;
+                  Some (Staged_block { sb with sb_taddr = new_addr })
+                end
+                else None)
+        | Staged_inode_block { si_taddr; si_inums } ->
+            let new_addr = new_base + (si_taddr - old_base) in
+            let still =
+              List.filter
+                (fun inum ->
+                  let e = Lfs.Imap.get (Lfs.Fs.imap fsys) inum in
+                  if e.Lfs.Imap.addr = si_taddr then begin
+                    Lfs.Fs.account fsys ~addr:si_taddr (-Lfs.Inode.isize);
+                    Lfs.Fs.account fsys ~addr:new_addr Lfs.Inode.isize;
+                    Lfs.Imap.set_addr (Lfs.Fs.imap fsys) inum new_addr;
+                    true
+                  end
+                  else false)
+                si_inums
+            in
+            if still = [] then None
+            else Some (Staged_inode_block { si_taddr = new_addr; si_inums = still }))
+      manifest
+  in
+  Hashtbl.remove st.manifests old_tindex;
+  Hashtbl.replace st.manifests new_tindex moved;
+  Lfs.Segusage.set_state st.tseg old_tindex Lfs.Segusage.Clean;
+  Seg_cache.retag st.cache line new_tindex;
+  if line.Seg_cache.disk_seg >= 0 then
+    Lfs.Segusage.set_cache_tag (Lfs.Fs.seguse fsys) line.Seg_cache.disk_seg new_tindex;
+  st.rehomes <- st.rehomes + 1
+
+(* Choose the cheapest live copy of a tertiary segment: a replica on a
+   currently-loaded volume beats the primary on an unloaded one
+   (paper §5.4's "closest copy"). *)
+let pick_source st tindex =
+  let candidates =
+    tindex :: Option.value ~default:[] (Hashtbl.find_opt st.replicas tindex)
+  in
+  let live t =
+    (Lfs.Segusage.get st.tseg t).Lfs.Segusage.state <> Lfs.Segusage.Clean || t = tindex
+  in
+  let candidates = List.filter live candidates in
+  let loaded t =
+    Footprint.volume_loaded st.fp (fst (Addr_space.vol_seg_of_tindex st.aspace t))
+  in
+  match List.find_opt loaded candidates with
+  | Some t -> t
+  | None -> ( match candidates with t :: _ -> t | [] -> tindex)
+
+let io_fetch st line =
+  let source = pick_source st line.Seg_cache.tindex in
+  Hl_log.Log.debug (fun m ->
+      m "fetch tseg %d (from copy %d) -> disk seg %d" line.Seg_cache.tindex source
+        line.Seg_cache.disk_seg);
+  let vol, seg = Addr_space.vol_seg_of_tindex st.aspace source in
+  let image = Footprint.read_seg st.fp ~vol ~seg in
+  let t0 = now st in
+  Block_io.raw_write_cache_line st ~disk_seg:line.Seg_cache.disk_seg image;
+  st.io_disk_time <- st.io_disk_time +. (now st -. t0)
+
+let rec io_writeout st line status =
+  let t0 = now st in
+  let image = Block_io.raw_read_cache_line st ~disk_seg:line.Seg_cache.disk_seg in
+  st.io_disk_time <- st.io_disk_time +. (now st -. t0);
+  let vol, seg = Addr_space.vol_seg_of_tindex st.aspace line.Seg_cache.tindex in
+  match Footprint.write_seg st.fp ~vol ~seg image with
+  | Footprint.Written ->
+      line.Seg_cache.state <- Seg_cache.Staged_clean;
+      st.writeouts <- st.writeouts + 1;
+      (* the manifest existed for end-of-medium re-homing; the copy is
+         safe now *)
+      Hashtbl.remove st.manifests line.Seg_cache.tindex;
+      (match !status with Rehomed _ -> () | _ -> status := Done)
+  | Footprint.End_of_medium ->
+      Hl_log.Log.info (fun m ->
+          m "end of medium: re-homing staged segment (was tseg %d)" line.Seg_cache.tindex);
+      rehome st line;
+      status := Rehomed line.Seg_cache.tindex;
+      io_writeout st line status
+
+let spawn st =
+  let io_mb : io_request Sim.Mailbox.t = Sim.Mailbox.create () in
+  Sim.Engine.spawn st.engine ~name:"hl-io" (fun () ->
+      let rec loop () =
+        (match Sim.Mailbox.recv io_mb with
+        | Io_fetch (line, cv) ->
+            io_fetch st line;
+            Sim.Condvar.broadcast cv
+        | Io_writeout (line, status, cv) ->
+            io_writeout st line status;
+            Sim.Condvar.broadcast cv);
+        if not st.stop_service then loop ()
+      in
+      loop ());
+  Sim.Engine.spawn st.engine ~name:"hl-service" (fun () ->
+      (* demand fetches overtake queued prefetches: a reader must never
+         stall behind speculative work *)
+      let pending : request Queue.t = Queue.create () in
+      let refill () =
+        if Queue.is_empty pending then Queue.add (Sim.Mailbox.recv st.service_mb) pending;
+        let rec drain () =
+          match Sim.Mailbox.try_recv st.service_mb with
+          | Some r ->
+              Queue.add r pending;
+              drain ()
+          | None -> ()
+        in
+        drain ()
+      in
+      let pick () =
+        let urgent r =
+          match r with Fetch { is_prefetch; _ } -> not is_prefetch | Writeout _ -> true
+        in
+        let all = List.of_seq (Queue.to_seq pending) in
+        Queue.clear pending;
+        match List.partition urgent all with
+        | u :: us, rest ->
+            List.iter (fun r -> Queue.add r pending) (us @ rest);
+            u
+        | [], r :: rest ->
+            List.iter (fun r -> Queue.add r pending) rest;
+            r
+        | [], [] -> assert false
+      in
+      let rec loop () =
+        refill ();
+        (match pick () with
+        | Fetch { line; enqueued; is_prefetch } as req -> (
+            st.queue_time <- st.queue_time +. (now st -. enqueued);
+            (* never block on allocation: pending write-outs are what
+               turn Staging lines into evictable ones, and only this
+               process dispatches them *)
+            match try_allocate st with
+            | Some seg ->
+                line.Seg_cache.disk_seg <- seg;
+                Lfs.Segusage.set_cache_tag (Lfs.Fs.seguse (fs st)) seg line.Seg_cache.tindex;
+                let cv = Sim.Condvar.create () in
+                Sim.Mailbox.send io_mb (Io_fetch (line, cv));
+                Sim.Condvar.wait cv;
+                line.Seg_cache.state <- Seg_cache.Resident;
+                line.Seg_cache.fetched_at <- now st;
+                line.Seg_cache.last_use <- now st;
+                Sim.Condvar.broadcast line.Seg_cache.ready;
+                st.on_fetch line.Seg_cache.tindex
+            | None ->
+                ignore is_prefetch;
+                if Queue.is_empty pending then Sim.Engine.delay 0.005;
+                Queue.add req pending)
+        | Writeout { line; enqueued; status; done_cv } ->
+            st.queue_time <- st.queue_time +. (now st -. enqueued);
+            let cv = Sim.Condvar.create () in
+            Sim.Mailbox.send io_mb (Io_writeout (line, status, cv));
+            Sim.Condvar.wait cv;
+            Sim.Condvar.broadcast done_cv);
+        if not st.stop_service then loop ()
+      in
+      loop ());
+  fun () -> st.stop_service <- true
+
+type ticket = { status : writeout_status ref; done_cv : Sim.Condvar.t }
+
+let request_writeout st line =
+  let status = ref Pending in
+  let done_cv = Sim.Condvar.create () in
+  Sim.Mailbox.send st.service_mb
+    (Writeout { line; enqueued = now st; status; done_cv });
+  { status; done_cv }
+
+let await ticket =
+  while !(ticket.status) = Pending do
+    Sim.Condvar.wait ticket.done_cv
+  done;
+  !(ticket.status)

@@ -1,0 +1,35 @@
+(** The user-level service process and its child I/O process (paper
+    §6.7). The service process waits for kernel requests (demand fetch,
+    segment write-out), manages cache-line allocation and ejection, and
+    forwards the device work to the I/O process, which talks to the
+    robotic storage through Footprint and to the cache disk through the
+    raw device. Requests are serviced one at a time — the serial
+    read-then-write pipeline whose phases the paper's Table 4 breaks
+    down. *)
+
+val spawn : State.t -> unit -> unit
+(** Starts the service/I/O machinery; returns a shutdown function (the
+    processes exit after finishing the current request). *)
+
+val eject : State.t -> Seg_cache.line -> unit
+(** Synchronously discards a cache line (must be evictable), returning
+    its disk segment to the clean pool. *)
+
+val eject_idle : State.t -> keep:int -> int
+(** Migrator-style housekeeping: evicts least-valuable lines until at
+    most [keep] remain. Returns the number ejected. *)
+
+type ticket
+
+val request_writeout : State.t -> Seg_cache.line -> ticket
+(** Queues a freshly assembled staging segment for copy-out; the
+    service/I/O processes drain the queue asynchronously. *)
+
+val await : ticket -> State.writeout_status
+(** Blocks until the copy (including any end-of-medium re-homing)
+    completes. *)
+
+val allocate_cache_line : ?staging:bool -> State.t -> int
+(** Internal: obtain a disk segment for use as a cache line, ejecting a
+    victim if the pool is exhausted. Staging allocations (the migrator)
+    may dig past the cleaner's reserve. *)

@@ -1,0 +1,123 @@
+type writeout_status = Pending | Done | Rehomed of int
+
+type request =
+  | Fetch of { line : Seg_cache.line; enqueued : float; is_prefetch : bool }
+  | Writeout of {
+      line : Seg_cache.line;
+      enqueued : float;
+      status : writeout_status ref;
+      done_cv : Sim.Condvar.t;
+    }
+
+type staged_entry =
+  | Staged_block of { sb_inum : int; sb_bkey : Lfs.Bkey.t; sb_taddr : int }
+  | Staged_inode_block of { si_taddr : int; si_inums : int list }
+
+type t = {
+  engine : Sim.Engine.t;
+  aspace : Addr_space.t;
+  mutable disk : Lfs.Dev.t;
+  fp : Footprint.t;
+  cache : Seg_cache.t;
+  tseg : Lfs.Segusage.t;
+  service_mb : request Sim.Mailbox.t;
+  mutable fs : Lfs.Fs.t option;
+  manifests : (int, staged_entry list) Hashtbl.t;
+  replicas : (int, int list) Hashtbl.t;
+  mutable demand_fetches : int;
+  mutable writeouts : int;
+  mutable rehomes : int;
+  mutable fetch_wait : float;
+  mutable queue_time : float;
+  mutable io_disk_time : float;
+  mutable stop_service : bool;
+  mutable blocks_migrated : int;
+  mutable bytes_migrated : int;
+  mutable segments_staged : int;
+  mutable inodes_migrated : int;
+  mutable prefetch : int -> int list;
+  mutable on_fetch_start : int -> unit;
+  mutable on_fetch : int -> unit;
+      (** observation hook: a demand fetch of this tindex completed *)
+  mutable avoid_volume : int option;
+  mutable restrict_volume : int option;
+}
+
+exception Tertiary_full
+
+let create ~engine ~aspace ~disk ~fp ~cache =
+  {
+    engine;
+    aspace;
+    disk;
+    fp;
+    cache;
+    tseg =
+      Lfs.Segusage.create ~nsegs:(Addr_space.ntsegs aspace)
+        ~seg_bytes:(Addr_space.seg_blocks aspace * disk.Lfs.Dev.block_size);
+    service_mb = Sim.Mailbox.create ();
+    fs = None;
+    manifests = Hashtbl.create 16;
+    replicas = Hashtbl.create 8;
+    demand_fetches = 0;
+    writeouts = 0;
+    rehomes = 0;
+    fetch_wait = 0.0;
+    queue_time = 0.0;
+    io_disk_time = 0.0;
+    stop_service = false;
+    blocks_migrated = 0;
+    bytes_migrated = 0;
+    segments_staged = 0;
+    inodes_migrated = 0;
+    prefetch = (fun _ -> []);
+    on_fetch_start = (fun _ -> ());
+    on_fetch = (fun _ -> ());
+    avoid_volume = None;
+    restrict_volume = None;
+  }
+
+let fs t =
+  match t.fs with Some fs -> fs | None -> failwith "HighLight: file system not attached"
+
+let seg_blocks t = Addr_space.seg_blocks t.aspace
+let disk_seg_base t s = (s + 1) * seg_blocks t
+
+let next_tseg t =
+  let fsys = fs t in
+  let spv = Addr_space.segs_per_volume t.aspace in
+  let total = Addr_space.ntsegs t.aspace in
+  let start =
+    let v = Lfs.Fs.tvol fsys and s = Lfs.Fs.tseg_in_vol fsys in
+    ((v * spv) + s) mod total
+  in
+  (* scan forward from the cursor, wrapping, so volumes reclaimed by the
+     tertiary cleaner become allocatable again *)
+  let rec hunt step =
+    if step >= total then raise Tertiary_full
+    else
+      let tindex = (start + step) mod total in
+      let vol = tindex / spv in
+      if
+        Footprint.volume_full t.fp vol
+        || t.avoid_volume = Some vol
+        || match t.restrict_volume with Some v -> v <> vol | None -> false
+      then
+        (* jump to the start of the next volume *)
+        hunt (step + spv - (tindex mod spv))
+      else if (Lfs.Segusage.get t.tseg tindex).Lfs.Segusage.state = Lfs.Segusage.Clean then begin
+        Lfs.Segusage.set_state t.tseg tindex Lfs.Segusage.Dirty;
+        Lfs.Segusage.set_lastmod t.tseg tindex (Sim.Engine.now t.engine);
+        Lfs.Fs.set_tertiary_cursor fsys ~tvol:vol ~tseg_in_vol:((tindex mod spv) + 1);
+        tindex
+      end
+      else hunt (step + 1)
+  in
+  hunt 0
+
+let tertiary_live_bytes t = Lfs.Segusage.live_total t.tseg
+
+let tertiary_segments_used t =
+  let n = ref 0 in
+  Lfs.Segusage.iter t.tseg (fun _ e -> if e.Lfs.Segusage.state <> Lfs.Segusage.Clean then incr n);
+  !n

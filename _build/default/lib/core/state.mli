@@ -1,0 +1,85 @@
+(** Shared state of a HighLight instance: the wiring hub between the
+    block-map driver, the service and I/O processes, and the migrator
+    (the boxes of the paper's Fig. 5). Owned by {!Hl}, which constructs
+    and exposes it; the sibling modules operate on it. *)
+
+type writeout_status = Pending | Done | Rehomed of int  (** new tindex *)
+
+type request =
+  | Fetch of { line : Seg_cache.line; enqueued : float; is_prefetch : bool }
+  | Writeout of {
+      line : Seg_cache.line;
+      enqueued : float;
+      status : writeout_status ref;
+      done_cv : Sim.Condvar.t;
+    }
+
+(** Manifest entries: what was staged into a tertiary segment and at
+    which address (used to re-home on end-of-medium). *)
+type staged_entry =
+  | Staged_block of { sb_inum : int; sb_bkey : Lfs.Bkey.t; sb_taddr : int }
+  | Staged_inode_block of { si_taddr : int; si_inums : int list }
+
+type t = {
+  engine : Sim.Engine.t;
+  aspace : Addr_space.t;
+  mutable disk : Lfs.Dev.t;  (** the raw concatenated disk farm *)
+  fp : Footprint.t;
+  cache : Seg_cache.t;
+  tseg : Lfs.Segusage.t;  (** tertiary segment usage (tsegfile content) *)
+  service_mb : request Sim.Mailbox.t;
+  mutable fs : Lfs.Fs.t option;
+  manifests : (int, staged_entry list) Hashtbl.t;  (** tindex -> staged entries *)
+  replicas : (int, int list) Hashtbl.t;
+      (** primary tindex -> replica tindices on other volumes (§5.4);
+          replica segments are not counted as live data *)
+  mutable demand_fetches : int;
+  mutable writeouts : int;
+  mutable rehomes : int;
+  mutable fetch_wait : float;  (** process time blocked on demand fetches *)
+  mutable queue_time : float;  (** Table 4: request enqueue -> service pickup *)
+  mutable io_disk_time : float;  (** Table 4: I/O server raw disk time *)
+  mutable stop_service : bool;
+  mutable blocks_migrated : int;
+  mutable bytes_migrated : int;
+  mutable segments_staged : int;
+  mutable inodes_migrated : int;
+  mutable prefetch : int -> int list;
+      (** given a demand-fetched tindex, further tindices to stage in *)
+  mutable on_fetch_start : int -> unit;
+      (** notification agent (paper §10): a process is about to wait on a
+          tertiary access for this tindex — the "hold on" message *)
+  mutable on_fetch : int -> unit;
+      (** observation hook: a demand fetch of this tindex completed *)
+  mutable avoid_volume : int option;
+      (** volume excluded from allocation (being cleaned) *)
+  mutable restrict_volume : int option;
+      (** when set, tertiary allocation stays on this volume
+          (self-contained migration batches, paper §8.2) *)
+}
+
+exception Tertiary_full
+
+val create :
+  engine:Sim.Engine.t ->
+  aspace:Addr_space.t ->
+  disk:Lfs.Dev.t ->
+  fp:Footprint.t ->
+  cache:Seg_cache.t ->
+  t
+
+val fs : t -> Lfs.Fs.t
+(** Raises if called before the file system is attached. *)
+
+val seg_blocks : t -> int
+val disk_seg_base : t -> int -> int
+(** Physical address of a disk log segment (same formula as
+    [Lfs.Layout.seg_base]). *)
+
+val next_tseg : t -> int
+(** Allocates the next free tertiary segment at the cursor, skipping
+    full volumes; marks it Dirty in the tertiary table and advances the
+    persistent cursor. Raises {!Tertiary_full}. *)
+
+val tertiary_live_bytes : t -> int
+val tertiary_segments_used : t -> int

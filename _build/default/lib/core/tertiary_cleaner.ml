@@ -1,0 +1,162 @@
+open State
+open Lfs
+
+type result = {
+  volume : int;
+  segments_scanned : int;
+  blocks_remigrated : int;
+  inodes_remigrated : int;
+}
+
+let volume_live_bytes st vol =
+  let spv = Addr_space.segs_per_volume st.aspace in
+  let total = ref 0 in
+  for seg = 0 to spv - 1 do
+    let tindex = Addr_space.tindex_of_vol_seg st.aspace ~vol ~seg in
+    total := !total + (Segusage.get st.tseg tindex).Segusage.live_bytes
+  done;
+  !total
+
+let volume_used_segs st vol =
+  let spv = Addr_space.segs_per_volume st.aspace in
+  let used = ref 0 in
+  for seg = 0 to spv - 1 do
+    let tindex = Addr_space.tindex_of_vol_seg st.aspace ~vol ~seg in
+    if (Segusage.get st.tseg tindex).Segusage.state <> Segusage.Clean then incr used
+  done;
+  !used
+
+let select_volume st =
+  let fsys = fs st in
+  let writing = Fs.tvol fsys in
+  let best = ref None in
+  for vol = 0 to Addr_space.nvolumes st.aspace - 1 do
+    if vol <> writing && volume_used_segs st vol > 0 then begin
+      let live = volume_live_bytes st vol in
+      match !best with
+      | Some (_, best_live) when best_live <= live -> ()
+      | _ -> best := Some (vol, live)
+    end
+  done;
+  Option.map fst !best
+
+(* Scan one tertiary segment image for live contents. Staged segments
+   carry a single summary in block 0 covering the whole payload. *)
+let live_contents st tindex =
+  let vol, seg = Addr_space.vol_seg_of_tindex st.aspace tindex in
+  let sum_block = Footprint.read_blocks st.fp ~vol ~seg ~off:0 ~count:1 in
+  match Summary.deserialize sum_block with
+  | Error _ -> ([], [])
+  | Ok (sum, _) ->
+      let fsys = fs st in
+      let base = Addr_space.seg_base st.aspace tindex in
+      let cursor = ref (base + 1) in
+      let live_blocks = ref [] in
+      List.iter
+        (fun fi ->
+          List.iter
+            (fun bkey ->
+              let addr = !cursor in
+              incr cursor;
+              if Cleaner.is_live fsys ~addr ~inum:fi.Summary.fi_ino
+                   ~version:fi.Summary.fi_version bkey
+              then live_blocks := (fi.Summary.fi_ino, bkey) :: !live_blocks)
+            fi.Summary.fi_blocks)
+        sum.Summary.finfos;
+      let live_inodes = ref [] in
+      List.iter
+        (fun inode_addr ->
+          let off = Addr_space.offset_in_seg st.aspace inode_addr in
+          let block = Footprint.read_blocks st.fp ~vol ~seg ~off ~count:1 in
+          Inode.iter_block block (fun ino ->
+              let inum = ino.Inode.inum in
+              if inum > 0 && inum < Imap.max_inodes (Fs.imap fsys) then begin
+                let e = Imap.get (Fs.imap fsys) inum in
+                if e.Imap.addr = inode_addr && e.Imap.version = ino.Inode.version then
+                  live_inodes := inum :: !live_inodes
+              end))
+        sum.Summary.inode_addrs;
+      (List.rev !live_blocks, List.rev !live_inodes)
+
+let clean_volume st vol =
+  let spv = Addr_space.segs_per_volume st.aspace in
+  st.avoid_volume <- Some vol;
+  Fun.protect ~finally:(fun () -> st.avoid_volume <- None) @@ fun () ->
+  let fsys = fs st in
+  let scanned = ref 0 in
+  let moved = ref 0 in
+  let all_inodes = ref [] in
+  (* Work segment by segment, warming the cache with one whole-segment
+     demand fetch first: the gather then reads from the disk cache, so
+     cleaning a live volume costs a couple of media motions per segment
+     instead of one per block (vital on a one-drive robot). *)
+  for seg = 0 to spv - 1 do
+    let tindex = Addr_space.tindex_of_vol_seg st.aspace ~vol ~seg in
+    if (Segusage.get st.tseg tindex).Segusage.state <> Segusage.Clean then begin
+      incr scanned;
+      let blocks, inodes = live_contents st tindex in
+      all_inodes := !all_inodes @ inodes;
+      if blocks <> [] then begin
+        (if Seg_cache.find st.cache tindex = None then
+           ignore
+             ((Fs.dev fsys).Lfs.Dev.read
+                ~blk:(Addr_space.seg_base st.aspace tindex)
+                ~count:1));
+        moved := !moved + List.length blocks;
+        ignore (Migrator.migrate_blocks st ~allow_tertiary:true ~checkpoint:false blocks)
+      end
+    end
+  done;
+  let remigrated_inodes = List.sort_uniq compare !all_inodes in
+  if remigrated_inodes <> [] then begin
+    (* re-home live inodes into a fresh tertiary inode block *)
+    ignore
+      (Migrator.migrate_files st ~checkpoint:false ~with_inodes:true
+         (List.filter
+            (fun inum ->
+              let e = Imap.get (Fs.imap fsys) inum in
+              e.Imap.addr > 0 && Addr_space.is_tertiary st.aspace e.Imap.addr
+              && Addr_space.tindex_of_addr st.aspace e.Imap.addr / spv = vol)
+            remigrated_inodes))
+  end;
+  (* drop any cache lines over this volume, then wipe the medium *)
+  Seg_cache.iter st.cache (fun line ->
+      if
+        line.Seg_cache.tindex / spv = vol
+        && (line.Seg_cache.state = Seg_cache.Resident
+           || line.Seg_cache.state = Seg_cache.Staged_clean)
+        && line.Seg_cache.pins = 0
+      then Service.eject st line);
+  Hl_log.Log.info (fun m ->
+      m "tertiary cleaner: erasing volume %d (%d segments scanned, %d blocks re-migrated)" vol
+        !scanned !moved);
+  Footprint.erase_volume st.fp vol;
+  for seg = 0 to spv - 1 do
+    let tindex = Addr_space.tindex_of_vol_seg st.aspace ~vol ~seg in
+    Segusage.set_state st.tseg tindex Segusage.Clean
+  done;
+  Fs.checkpoint fsys;
+  {
+    volume = vol;
+    segments_scanned = !scanned;
+    blocks_remigrated = !moved;
+    inodes_remigrated = List.length remigrated_inodes;
+  }
+
+let free_tsegs st =
+  let free = ref 0 in
+  Segusage.iter st.tseg (fun _ e -> if e.Segusage.state = Segusage.Clean then incr free);
+  !free
+
+let clean_if_needed st ~free_target =
+  let results = ref [] in
+  let rec go () =
+    if free_tsegs st < free_target then
+      match select_volume st with
+      | Some vol ->
+          results := clean_volume st vol :: !results;
+          if free_tsegs st < free_target then go ()
+      | None -> ()
+  in
+  go ();
+  List.rev !results

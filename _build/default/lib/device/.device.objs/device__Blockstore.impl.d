@@ -1,0 +1,1 @@
+lib/device/blockstore.ml: Bytes Hashtbl Printf

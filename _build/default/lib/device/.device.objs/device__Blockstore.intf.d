@@ -1,0 +1,1 @@
+lib/device/blockstore.mli: Bytes

@@ -1,0 +1,1 @@
+lib/device/concat.ml: Array Bytes Disk List

@@ -1,0 +1,1 @@
+lib/device/concat.mli: Bytes Disk

@@ -1,0 +1,1 @@
+lib/device/disk.ml: Blockstore Bytes Engine Float Option Resource Scsi_bus Sim

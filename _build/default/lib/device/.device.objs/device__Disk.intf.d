@@ -1,0 +1,1 @@
+lib/device/disk.mli: Blockstore Bytes Scsi_bus Sim

@@ -1,0 +1,1 @@
+lib/device/jukebox.ml: Array Blockstore Bytes Engine List Option Printf Resource Scsi_bus Sim

@@ -1,0 +1,1 @@
+lib/device/jukebox.mli: Blockstore Bytes Scsi_bus Sim

@@ -1,0 +1,1 @@
+lib/device/scsi_bus.ml: Sim

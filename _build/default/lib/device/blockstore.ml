@@ -1,0 +1,41 @@
+type t = { block_size : int; nblocks : int; blocks : (int, Bytes.t) Hashtbl.t }
+
+let create ~block_size ~nblocks =
+  if block_size <= 0 || nblocks <= 0 then invalid_arg "Blockstore.create";
+  { block_size; nblocks; blocks = Hashtbl.create 1024 }
+
+let block_size t = t.block_size
+let nblocks t = t.nblocks
+
+let check_range t blk count =
+  if blk < 0 || count <= 0 || blk + count > t.nblocks then
+    invalid_arg
+      (Printf.sprintf "Blockstore: range [%d,%d) outside device of %d blocks" blk
+         (blk + count) t.nblocks)
+
+let read t ~blk ~count =
+  check_range t blk count;
+  let out = Bytes.create (count * t.block_size) in
+  for i = 0 to count - 1 do
+    match Hashtbl.find_opt t.blocks (blk + i) with
+    | Some b -> Bytes.blit b 0 out (i * t.block_size) t.block_size
+    | None -> Bytes.fill out (i * t.block_size) t.block_size '\000'
+  done;
+  out
+
+let write t ~blk data =
+  let len = Bytes.length data in
+  if len = 0 || len mod t.block_size <> 0 then
+    invalid_arg "Blockstore.write: length must be a positive multiple of block size";
+  let count = len / t.block_size in
+  check_range t blk count;
+  for i = 0 to count - 1 do
+    let b = Bytes.create t.block_size in
+    Bytes.blit data (i * t.block_size) b 0 t.block_size;
+    Hashtbl.replace t.blocks (blk + i) b
+  done
+
+let is_written t blk = Hashtbl.mem t.blocks blk
+let written_blocks t = Hashtbl.length t.blocks
+let erase t = Hashtbl.reset t.blocks
+let erase_block t blk = Hashtbl.remove t.blocks blk

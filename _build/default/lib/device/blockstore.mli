@@ -1,0 +1,28 @@
+(** Sparse backing store for simulated media. Devices carry real bytes so
+    file-system correctness is checked end to end, but space is allocated
+    only for blocks actually written (a 9 TB jukebox costs nothing until
+    used). Unwritten blocks read back as zeros, like a freshly formatted
+    medium. *)
+
+type t
+
+val create : block_size:int -> nblocks:int -> t
+val block_size : t -> int
+val nblocks : t -> int
+
+val read : t -> blk:int -> count:int -> Bytes.t
+(** Returns [count * block_size] bytes. Out-of-range access raises
+    [Invalid_argument]. *)
+
+val write : t -> blk:int -> Bytes.t -> unit
+(** The byte length must be a positive multiple of the block size. *)
+
+val is_written : t -> int -> bool
+(** Whether the block has ever been written (distinguishes an explicit
+    zero write from untouched medium; WORM enforcement sits on this). *)
+
+val written_blocks : t -> int
+val erase : t -> unit
+
+val erase_block : t -> int -> unit
+(** Forgets one block (used when a tertiary volume is reclaimed). *)

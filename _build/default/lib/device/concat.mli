@@ -1,0 +1,24 @@
+(** Pseudo disk driver presenting several disks as one block address
+    space — the paper's "striping driver to provide a single block
+    address space for all the disks". Supports plain concatenation and
+    round-robin striping. *)
+
+type t
+
+val concat : Disk.t list -> t
+(** Devices appear one after another in address order. *)
+
+val stripe : stripe_blocks:int -> Disk.t list -> t
+(** Round-robin striping with the given unit. All disks must have equal
+    block counts. *)
+
+val nblocks : t -> int
+val block_size : t -> int
+val disks : t -> Disk.t list
+
+val locate : t -> int -> Disk.t * int
+(** Physical placement of a logical block (used by the address-map
+    figure and by tests). *)
+
+val read : t -> blk:int -> count:int -> Bytes.t
+val write : t -> blk:int -> Bytes.t -> unit

@@ -1,0 +1,235 @@
+open Sim
+
+type media_kind = Magneto_optic | Tape | Worm
+
+type media_profile = {
+  kind : media_kind;
+  media_name : string;
+  block_size : int;
+  capacity_blocks : int;
+  read_rate : float;
+  write_rate : float;
+  seek_const : float;
+  seek_per_block : float;
+}
+
+let hp6300_platter =
+  {
+    kind = Magneto_optic;
+    media_name = "HP 6300 MO platter";
+    block_size = 4096;
+    capacity_blocks = 163840 (* 640 MB *);
+    read_rate = 451.0 *. 1024.0;
+    write_rate = 204.0 *. 1024.0;
+    seek_const = 0.095;
+    seek_per_block = 0.0;
+  }
+
+let metrum_tape =
+  {
+    kind = Tape;
+    media_name = "Metrum VHS cartridge";
+    block_size = 4096;
+    capacity_blocks = 3801088 (* 14.5 GB *);
+    read_rate = 1100.0 *. 1024.0;
+    write_rate = 1100.0 *. 1024.0;
+    seek_const = 8.0 (* thread/locate startup *);
+    seek_per_block = 2.0e-5 (* high-speed search, ~200 MB/s of tape *);
+  }
+
+let sony_worm =
+  {
+    kind = Worm;
+    media_name = "Sony WORM platter";
+    block_size = 4096;
+    capacity_blocks = 1671168 (* 6.4 GB *);
+    read_rate = 600.0 *. 1024.0;
+    write_rate = 300.0 *. 1024.0;
+    seek_const = 0.220;
+    seek_per_block = 0.0;
+  }
+
+type changer_profile = { swap_time : float; hogs_bus : bool }
+
+let hp6300_changer = { swap_time = 13.4; hogs_bus = true }
+let metrum_changer = { swap_time = 42.0; hogs_bus = false }
+
+exception Worm_overwrite of { vol : int; blk : int }
+
+type drive = {
+  id : int;
+  res : Resource.t;
+  mutable assigned : int option;  (* logical claim, settled under [mutex] *)
+  mutable physical : int option;  (* volume actually inside *)
+  mutable pos : int;              (* head position on the loaded volume *)
+  mutable last_use : float;
+}
+
+type t = {
+  engine : Engine.t;
+  label : string;
+  prof : media_profile;
+  changer : changer_profile;
+  bus : Scsi_bus.t option;
+  volumes : Blockstore.t array;
+  drives : drive array;
+  robot : Resource.t;
+  mutex : Resource.t;
+  mutable write_drive_reserved : bool;
+  mutable n_swaps : int;
+  mutable swap_total : float;
+  mutable rbytes : int;
+  mutable wbytes : int;
+}
+
+let create engine ?bus ?vol_capacity ~drives ~nvolumes ~media ~changer label =
+  if drives <= 0 || nvolumes <= 0 then invalid_arg "Jukebox.create";
+  let cap = Option.value vol_capacity ~default:media.capacity_blocks in
+  {
+    engine;
+    label;
+    prof = { media with capacity_blocks = cap };
+    changer;
+    bus;
+    volumes =
+      Array.init nvolumes (fun _ -> Blockstore.create ~block_size:media.block_size ~nblocks:cap);
+    drives =
+      Array.init drives (fun id ->
+          {
+            id;
+            res = Resource.create engine (Printf.sprintf "%s:drive%d" label id);
+            assigned = None;
+            physical = None;
+            pos = 0;
+            last_use = 0.0;
+          });
+    robot = Resource.create engine (label ^ ":robot");
+    mutex = Resource.create engine (label ^ ":mutex");
+    write_drive_reserved = false;
+    n_swaps = 0;
+    swap_total = 0.0;
+    rbytes = 0;
+    wbytes = 0;
+  }
+
+let name t = t.label
+let engine t = t.engine
+let media t = t.prof
+let nvolumes t = Array.length t.volumes
+let vol_capacity t = t.prof.capacity_blocks
+let ndrives t = Array.length t.drives
+
+let reserve_write_drive t flag =
+  if Array.length t.drives > 1 then t.write_drive_reserved <- flag
+
+let loaded t = Array.map (fun d -> d.physical) t.drives
+let volume_store t vol = t.volumes.(vol)
+
+let erase_volume t vol =
+  if t.prof.kind = Worm then invalid_arg "Jukebox.erase_volume: WORM media cannot be erased";
+  Blockstore.erase t.volumes.(vol)
+
+(* Drive selection runs under [mutex]: join a drive already assigned to
+   the volume; otherwise claim an empty drive, else evict the
+   least-recently-used assigned drive. When a write drive is reserved,
+   writes claim drive 0 and reads avoid it. *)
+let choose_drive t vol ~for_write =
+  let candidates =
+    if not t.write_drive_reserved then Array.to_list t.drives
+    else if for_write then [ t.drives.(0) ]
+    else List.tl (Array.to_list t.drives)
+  in
+  match List.find_opt (fun d -> d.assigned = Some vol) (Array.to_list t.drives) with
+  | Some d -> d
+  | None -> (
+      match List.find_opt (fun d -> d.assigned = None) candidates with
+      | Some d ->
+          d.assigned <- Some vol;
+          d
+      | None ->
+          let victim =
+            List.fold_left
+              (fun best d -> if d.last_use < best.last_use then d else best)
+              (List.hd candidates) (List.tl candidates)
+          in
+          victim.assigned <- Some vol;
+          victim)
+
+let swap t d vol =
+  Resource.with_resource t.robot (fun () ->
+      let move () = Engine.delay t.changer.swap_time in
+      (match t.bus with
+      | Some bus when t.changer.hogs_bus -> Resource.with_resource (Scsi_bus.resource bus) move
+      | _ -> move ());
+      d.physical <- Some vol;
+      d.pos <- 0;
+      t.n_swaps <- t.n_swaps + 1;
+      t.swap_total <- t.swap_total +. t.changer.swap_time)
+
+let rec with_drive t vol ~for_write f =
+  Resource.acquire t.mutex;
+  let d = choose_drive t vol ~for_write in
+  Resource.release t.mutex;
+  Resource.acquire d.res;
+  if d.assigned <> Some vol then begin
+    (* lost the claim to a later re-assignment; retry *)
+    Resource.release d.res;
+    with_drive t vol ~for_write f
+  end
+  else begin
+    if d.physical <> Some vol then swap t d vol;
+    let result = try f d with e -> Resource.release d.res; raise e in
+    d.last_use <- Engine.now t.engine;
+    Resource.release d.res;
+    result
+  end
+
+let chunk_blocks = 16 (* MAXPHYS-style 64 KB transfer grain *)
+
+let position_and_transfer t d ~blk ~count ~rate =
+  let rec go blk count =
+    if count > 0 then begin
+      let n = min count chunk_blocks in
+      if d.pos <> blk then begin
+        let dist = abs (blk - d.pos) in
+        Engine.delay (t.prof.seek_const +. (t.prof.seek_per_block *. float_of_int dist))
+      end;
+      let xfer = float_of_int (n * t.prof.block_size) /. rate in
+      (match t.bus with
+      | Some bus -> Scsi_bus.transfer bus xfer
+      | None -> Engine.delay xfer);
+      d.pos <- blk + n;
+      go (blk + n) (count - n)
+    end
+  in
+  go blk count
+
+let read t ~vol ~blk ~count =
+  if vol < 0 || vol >= nvolumes t then invalid_arg "Jukebox.read: bad volume";
+  with_drive t vol ~for_write:false (fun d ->
+      position_and_transfer t d ~blk ~count ~rate:t.prof.read_rate;
+      t.rbytes <- t.rbytes + (count * t.prof.block_size);
+      Blockstore.read t.volumes.(vol) ~blk ~count)
+
+let write t ~vol ~blk data =
+  if vol < 0 || vol >= nvolumes t then invalid_arg "Jukebox.write: bad volume";
+  let count = Bytes.length data / t.prof.block_size in
+  if t.prof.kind = Worm then
+    for i = blk to blk + count - 1 do
+      if Blockstore.is_written t.volumes.(vol) i then raise (Worm_overwrite { vol; blk = i })
+    done;
+  with_drive t vol ~for_write:true (fun d ->
+      Blockstore.write t.volumes.(vol) ~blk data;
+      position_and_transfer t d ~blk ~count ~rate:t.prof.write_rate;
+      t.wbytes <- t.wbytes + Bytes.length data)
+
+let swaps t = t.n_swaps
+let swap_time_total t = t.swap_total
+let bytes_read t = t.rbytes
+let bytes_written t = t.wbytes
+
+let reset_stats t =
+  t.n_swaps <- 0;
+  t.swap_total <- 0.0;
+  t.rbytes <- 0;
+  t.wbytes <- 0

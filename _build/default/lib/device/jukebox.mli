@@ -1,0 +1,91 @@
+(** Robotic tertiary-storage model: a set of reader/writer drives, a
+    robot arm, and a shelf of media volumes (MO platters, tape
+    cartridges, or WORM platters). Requests name a volume; the jukebox
+    transparently finds a drive holding it or performs a robot swap,
+    charging the (long) media-change latency. One drive can be reserved
+    for the active writing volume, matching the paper's experimental
+    setup of "one drive for the currently-active writing segment, the
+    other for reading other platters". *)
+
+type media_kind = Magneto_optic | Tape | Worm
+
+type media_profile = {
+  kind : media_kind;
+  media_name : string;
+  block_size : int;
+  capacity_blocks : int;  (** per volume *)
+  read_rate : float;  (** bytes/s *)
+  write_rate : float;  (** bytes/s *)
+  seek_const : float;  (** settle time for repositioning on a loaded volume *)
+  seek_per_block : float;  (** additional spacing time per block of distance (tapes) *)
+}
+
+val hp6300_platter : media_profile
+(** HP 6300 magneto-optic platter, calibrated to Table 5 (451/204 KB/s). *)
+
+val metrum_tape : media_profile
+(** Metrum VHS cartridge, 14.5 GB; used by the Sequoia-scale examples. *)
+
+val sony_worm : media_profile
+(** Sony write-once platter: overwriting a written block raises
+    {!Worm_overwrite}. *)
+
+type changer_profile = {
+  swap_time : float;  (** eject + move + load + ready, s *)
+  hogs_bus : bool;  (** paper artifact: robot holds the SCSI bus while moving *)
+}
+
+val hp6300_changer : changer_profile
+(** 13.5 s volume change (Table 5), bus held during the swap. *)
+
+val metrum_changer : changer_profile
+
+exception Worm_overwrite of { vol : int; blk : int }
+
+type t
+
+val create :
+  Sim.Engine.t ->
+  ?bus:Scsi_bus.t ->
+  ?vol_capacity:int ->
+  drives:int ->
+  nvolumes:int ->
+  media:media_profile ->
+  changer:changer_profile ->
+  string ->
+  t
+(** [vol_capacity] overrides the per-volume block count (the paper
+    constrained platters to 40 MB to force frequent volume changes). *)
+
+val name : t -> string
+val engine : t -> Sim.Engine.t
+val media : t -> media_profile
+val nvolumes : t -> int
+val vol_capacity : t -> int
+val ndrives : t -> int
+
+val read : t -> vol:int -> blk:int -> count:int -> Bytes.t
+val write : t -> vol:int -> blk:int -> Bytes.t -> unit
+
+val reserve_write_drive : t -> bool -> unit
+(** When enabled, drive 0 is used only for volumes being written
+    (requests pass [`Write]), keeping reads from evicting the active
+    write volume. No-op for single-drive jukeboxes. *)
+
+val loaded : t -> int option array
+(** Volume currently in each drive. *)
+
+val volume_store : t -> int -> Blockstore.t
+(** Backing bytes of a volume, bypassing timing (debug/fsck only). *)
+
+val erase_volume : t -> int -> unit
+(** Media reclamation: wipes a volume (tertiary cleaner support).
+    Raises for WORM media, which cannot be erased. *)
+
+(** Instrumentation. *)
+
+val swaps : t -> int
+val swap_time_total : t -> float
+val bytes_read : t -> int
+val bytes_written : t -> int
+val reset_stats : t -> unit

@@ -1,0 +1,9 @@
+type t = { res : Sim.Resource.t }
+
+let create engine name = { res = Sim.Resource.create engine ("scsi:" ^ name) }
+let resource t = t.res
+
+let transfer t duration =
+  Sim.Resource.with_resource t.res (fun () -> Sim.Engine.delay duration)
+
+let utilization t = Sim.Resource.utilization t.res

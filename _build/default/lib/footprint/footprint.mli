@@ -1,0 +1,63 @@
+(** Footprint — Sequoia's abstract robotic-storage interface, as used by
+    HighLight (paper §2, §6.5). It hides device specifics behind
+    volume/segment addressing and reports "end of medium" rather than
+    failing when a volume's real capacity falls short of its advertised
+    (e.g. compressed) capacity; HighLight reacts by marking the volume
+    full and re-writing the segment on the next one.
+
+    Several jukeboxes can sit behind one Footprint instance; volumes are
+    numbered across all of them ("an array of devices each holding an
+    array of media volumes"). An optional per-operation RPC latency
+    models running the jukebox on a remote machine, which the paper
+    anticipates for the Sequoia environment. *)
+
+open Device
+
+type t
+
+type write_result = Written | End_of_medium
+
+val create : ?rpc_latency:float -> seg_blocks:int -> segs_per_volume:int -> Jukebox.t list -> t
+(** [segs_per_volume] is the *advertised* capacity used for address-space
+    layout; if it exceeds what a volume really holds, writes of the
+    excess segments return [End_of_medium]. *)
+
+val seg_blocks : t -> int
+val block_size : t -> int
+val nvolumes : t -> int
+val segs_per_volume : t -> int
+
+val volume_full : t -> int -> bool
+(** True once a write to the volume has hit end-of-medium. *)
+
+val volume_loaded : t -> int -> bool
+(** Whether the volume currently sits in some drive — "closest copy"
+    selection for segment replicas (paper §5.4). *)
+
+val read_seg : t -> vol:int -> seg:int -> Bytes.t
+(** Fetches a whole segment image ([seg_blocks] blocks). *)
+
+val read_blocks : t -> vol:int -> seg:int -> off:int -> count:int -> Bytes.t
+(** Partial read within a segment (used by fsck-style tools; HighLight
+    proper always moves whole segments). *)
+
+val write_seg : t -> vol:int -> seg:int -> Bytes.t -> write_result
+(** Writes a whole segment image. [End_of_medium] marks the volume full
+    and writes nothing. *)
+
+val erase_volume : t -> int -> unit
+(** Support for the tertiary cleaner: reclaims a whole volume. *)
+
+val reserve_write_drive : t -> bool -> unit
+
+val describe : t -> string list
+(** One human-readable line per jukebox (media type, drives, volumes,
+    capacity) — used to render the paper's Fig. 2. *)
+
+(** Instrumentation for the migration-breakdown experiment (Table 4). *)
+
+val time_in_footprint : t -> float
+val bytes_written : t -> int
+val bytes_read : t -> int
+val swaps : t -> int
+val reset_stats : t -> unit

@@ -1,0 +1,89 @@
+exception Unknown_file of string
+
+type entry = { vol : int; blk : int; bytes : int }
+
+type t = {
+  engine : Sim.Engine.t;
+  jb : Device.Jukebox.t;
+  catalog : (string, entry) Hashtbl.t;
+  mutable order : string list;  (* catalogue order, newest first *)
+  mutable cur_vol : int;
+  mutable cur_blk : int;
+  mutable stored : int;
+  mutable fetched : int;
+  mutable garbage : int;
+}
+
+let create engine jb =
+  {
+    engine;
+    jb;
+    catalog = Hashtbl.create 64;
+    order = [];
+    cur_vol = 0;
+    cur_blk = 0;
+    stored = 0;
+    fetched = 0;
+    garbage = 0;
+  }
+
+let block_size t = (Device.Jukebox.media t.jb).Device.Jukebox.block_size
+
+let blocks_for t bytes = (bytes + block_size t - 1) / block_size t
+
+(* Append-only allocation across tape volumes. *)
+let reserve t nblocks =
+  if nblocks > Device.Jukebox.vol_capacity t.jb then
+    invalid_arg "Jaquith.store: file larger than a volume";
+  if t.cur_blk + nblocks > Device.Jukebox.vol_capacity t.jb then begin
+    t.cur_vol <- t.cur_vol + 1;
+    if t.cur_vol >= Device.Jukebox.nvolumes t.jb then failwith "Jaquith: archive full";
+    t.cur_blk <- 0
+  end;
+  let at = (t.cur_vol, t.cur_blk) in
+  t.cur_blk <- t.cur_blk + nblocks;
+  at
+
+let store t ~name data =
+  let bytes = Bytes.length data in
+  if bytes = 0 then invalid_arg "Jaquith.store: empty file";
+  (match Hashtbl.find_opt t.catalog name with
+  | Some old -> t.garbage <- t.garbage + old.bytes
+  | None -> t.order <- name :: t.order);
+  let nblocks = blocks_for t bytes in
+  let vol, blk = reserve t nblocks in
+  let padded = Bytes.make (nblocks * block_size t) '\000' in
+  Bytes.blit data 0 padded 0 bytes;
+  Device.Jukebox.write t.jb ~vol ~blk padded;
+  Hashtbl.replace t.catalog name { vol; blk; bytes };
+  t.stored <- t.stored + bytes
+
+let fetch t ~name =
+  match Hashtbl.find_opt t.catalog name with
+  | None -> raise (Unknown_file name)
+  | Some e ->
+      let nblocks = blocks_for t e.bytes in
+      let data = Device.Jukebox.read t.jb ~vol:e.vol ~blk:e.blk ~count:nblocks in
+      t.fetched <- t.fetched + e.bytes;
+      Bytes.sub data 0 e.bytes
+
+let exists t name = Hashtbl.mem t.catalog name
+
+let catalog t =
+  List.filter_map
+    (fun name ->
+      Option.map (fun e -> (name, e.bytes)) (Hashtbl.find_opt t.catalog name))
+    (List.rev t.order)
+
+let delete t ~name =
+  match Hashtbl.find_opt t.catalog name with
+  | None -> raise (Unknown_file name)
+  | Some e ->
+      t.garbage <- t.garbage + e.bytes;
+      Hashtbl.remove t.catalog name;
+      t.order <- List.filter (fun n -> n <> name) t.order
+
+let bytes_stored t = t.stored
+let bytes_fetched t = t.fetched
+let volumes_used t = t.cur_vol + if t.cur_blk > 0 then 1 else 0
+let garbage_bytes t = t.garbage

@@ -1,0 +1,42 @@
+(** A miniature Jaquith — the manual archive server the paper compares
+    against (§8.1, Mott-Smith's UCB/CSD 92-701). Users *explicitly*
+    archive and fetch whole files; the server appends file data to tape
+    volumes sequentially, keeps a catalogue, and caches tape metadata on
+    magnetic disk. There is no file-system interface and no automatic
+    migration — the explicit user model HighLight §8.1 contrasts with.
+
+    Built to make the Sequoia "bake-off" (paper §2) runnable: the
+    `bakeoff` bench target drives the same archival workload through
+    HighLight's transparent hierarchy and through this explicit
+    archive + local-FFS arrangement. *)
+
+type t
+
+val create : Sim.Engine.t -> Device.Jukebox.t -> t
+
+exception Unknown_file of string
+
+val store : t -> name:string -> Bytes.t -> unit
+(** Archives a (whole) file: appends its data to the current tape,
+    advancing to a fresh volume on demand. Re-storing a name supersedes
+    the old copy (the old tape blocks become garbage, as in real
+    append-only archives). *)
+
+val fetch : t -> name:string -> Bytes.t
+(** Reads a whole archived file back from tape. *)
+
+val exists : t -> string -> bool
+val catalog : t -> (string * int) list
+(** Archived names with sizes, catalogue order. *)
+
+val delete : t -> name:string -> unit
+(** Drops the catalogue entry (tape blocks become garbage). *)
+
+(** Accounting. *)
+
+val bytes_stored : t -> int
+val bytes_fetched : t -> int
+val volumes_used : t -> int
+val garbage_bytes : t -> int
+(** Dead tape space from superseded/deleted files — the cost of the
+    append-only model without a cleaner. *)

@@ -1,0 +1,1 @@
+lib/lfs/bcache.ml: Bkey Bytes Hashtbl List Lru Util

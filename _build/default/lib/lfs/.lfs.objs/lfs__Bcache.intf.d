@@ -1,0 +1,1 @@
+lib/lfs/bcache.mli: Bkey Bytes

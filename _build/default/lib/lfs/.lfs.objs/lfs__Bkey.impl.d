@@ -1,0 +1,1 @@
+lib/lfs/bkey.ml: Format Stdlib

@@ -1,0 +1,1 @@
+lib/lfs/bkey.mli: Format

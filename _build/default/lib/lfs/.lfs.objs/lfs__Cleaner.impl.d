@@ -1,0 +1,1 @@
+lib/lfs/cleaner.ml: Bcache Bkey Dev Float Fs Fun Imap Inode Layout List Param Segusage Sim Summary

@@ -1,0 +1,1 @@
+lib/lfs/debug.ml: Bcache Bkey Buffer Cleaner Dev Dir File Format Fs Hashtbl Imap Inode Layout List Option Param Printexc Printf Segusage Superblock

@@ -1,0 +1,1 @@
+lib/lfs/debug.mli: Fs

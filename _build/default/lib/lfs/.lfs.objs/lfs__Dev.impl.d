@@ -1,0 +1,1 @@
+lib/lfs/dev.ml: Bytes Device

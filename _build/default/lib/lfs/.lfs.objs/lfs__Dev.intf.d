@@ -1,0 +1,1 @@
+lib/lfs/dev.mli: Bytes Device

@@ -1,0 +1,1 @@
+lib/lfs/dir.ml: Bkey Bytes Dirent File Fs Inode List Param String

@@ -1,0 +1,1 @@
+lib/lfs/dir.mli: Fs Inode

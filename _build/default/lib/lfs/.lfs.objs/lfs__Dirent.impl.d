@@ -1,0 +1,1 @@
+lib/lfs/dirent.ml: Bytes Bytesx String Util

@@ -1,0 +1,1 @@
+lib/lfs/dirent.mli: Bytes

@@ -1,0 +1,1 @@
+lib/lfs/file.ml: Array Bcache Bkey Bytes Bytesx Fs Inode Param Util

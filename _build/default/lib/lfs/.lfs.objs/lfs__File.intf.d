@@ -1,0 +1,1 @@
+lib/lfs/file.mli: Bkey Bytes Fs Inode

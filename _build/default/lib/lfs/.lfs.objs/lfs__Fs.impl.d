@@ -1,0 +1,1 @@
+lib/lfs/fs.ml: Bcache Bkey Bytes Bytesx Crc32 Dev Dirent Float Format Fun Hashtbl Imap Inode Int64 Layout List Option Param Printf Queue Segusage Sim Summary Superblock Util

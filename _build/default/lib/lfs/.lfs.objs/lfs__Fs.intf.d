@@ -1,0 +1,1 @@
+lib/lfs/fs.mli: Bcache Bkey Bytes Dev Imap Inode Param Segusage Sim Superblock

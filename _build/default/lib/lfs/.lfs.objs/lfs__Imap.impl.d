@@ -1,0 +1,1 @@
+lib/lfs/imap.ml: Array Bytes Bytesx Hashtbl Int64 List Util

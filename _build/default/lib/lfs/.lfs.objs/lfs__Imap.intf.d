@@ -1,0 +1,1 @@
+lib/lfs/imap.mli: Bytes

@@ -1,0 +1,1 @@
+lib/lfs/inode.ml: Array Bkey Bytes Bytesx Format Int64 List Util

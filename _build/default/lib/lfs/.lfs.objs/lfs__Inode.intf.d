@@ -1,0 +1,1 @@
+lib/lfs/inode.mli: Bkey Bytes Format

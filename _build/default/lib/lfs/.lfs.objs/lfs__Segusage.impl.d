@@ -1,0 +1,1 @@
+lib/lfs/segusage.ml: Array Bytes Bytesx Format Hashtbl Int64 List Printf Util

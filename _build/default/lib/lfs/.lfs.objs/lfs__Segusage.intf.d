@@ -1,0 +1,1 @@
+lib/lfs/segusage.mli: Bytes Format

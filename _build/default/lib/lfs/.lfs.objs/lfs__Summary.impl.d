@@ -1,0 +1,1 @@
+lib/lfs/summary.ml: Bkey Bytes Bytesx Crc32 Format Int64 List Util

@@ -1,0 +1,1 @@
+lib/lfs/summary.mli: Bkey Bytes Format

@@ -1,0 +1,1 @@
+lib/lfs/superblock.ml: Bytes Bytesx Crc32 Int64 Util

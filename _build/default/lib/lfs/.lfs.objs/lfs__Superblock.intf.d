@@ -1,0 +1,1 @@
+lib/lfs/superblock.mli: Bytes

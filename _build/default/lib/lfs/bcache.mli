@@ -1,0 +1,61 @@
+(** Buffer cache over file blocks, keyed by (inum, {!Bkey.t}) — logical
+    identity, not disk address, because in a log-structured file system
+    a dirty block has no address until the segment writer assigns one.
+    Clean blocks live in an LRU and may be evicted at any time; dirty
+    blocks are pinned until the log flushes them. Each entry remembers
+    the disk address of its last written incarnation so the flusher can
+    decrement the old segment's live bytes. *)
+
+type key = int * Bkey.t
+
+type t
+
+val create : cap:int -> t
+val capacity : t -> int
+
+val find : t -> key -> Bytes.t option
+(** Returns the cached block (dirty or clean), promoting clean hits. *)
+
+val addr_of : t -> key -> int
+(** Disk address of the entry's last written copy, or -1. Raises
+    [Not_found] if the key is not cached. *)
+
+val is_dirty : t -> key -> bool
+
+val put_clean : t -> key -> addr:int -> Bytes.t -> unit
+(** Inserts a block just read from [addr]. *)
+
+val put_dirty : t -> key -> ?old_addr:int -> Bytes.t -> unit
+(** Inserts new content. If the key was already cached its remembered
+    address is kept; otherwise [old_addr] (default -1) records where the
+    previous incarnation lives on disk. *)
+
+val mark_dirty : t -> key -> unit
+(** Promotes a clean entry to dirty after in-place modification. *)
+
+val mark_flushed : t -> key -> addr:int -> unit
+(** Called by the segment writer once the block is on disk at [addr]. *)
+
+val set_addr : t -> key -> int -> unit
+(** Rewrites a clean entry's remembered address (migration re-homes a
+    block without changing its content). *)
+
+val drop : t -> key -> unit
+val drop_inum : t -> int -> unit
+(** Discards every block of a file (unlink). *)
+
+val dirty_count : t -> int
+val clean_count : t -> int
+
+val dirty_entries : t -> (key * Bytes.t * int) list
+(** All dirty blocks as (key, data, previous address), unordered. *)
+
+val invalidate_clean : t -> unit
+(** Drops every clean block (used to model cache flushes between
+    benchmark phases). *)
+
+val hits : t -> int
+val misses : t -> int
+val note_miss : t -> unit
+(** Callers count a miss when [find] returns [None] and they go to
+    disk. [find] itself counts hits. *)

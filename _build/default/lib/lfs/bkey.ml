@@ -1,0 +1,68 @@
+type t = Data of int | L1 of int | L2 of int | L3
+
+let ndirect = 12
+
+type parent =
+  | In_inode_direct of int
+  | In_inode_single
+  | In_inode_double
+  | In_inode_triple
+  | In_block of t * int
+
+let parent ~ppb = function
+  | Data lbn when lbn < 0 -> invalid_arg "Bkey.parent: negative lbn"
+  | Data lbn when lbn < ndirect -> In_inode_direct lbn
+  | Data lbn ->
+      let rel = lbn - ndirect in
+      In_block (L1 (rel / ppb), rel mod ppb)
+  | L1 0 -> In_inode_single
+  | L1 p when p > 0 -> In_block (L2 ((p - 1) / ppb), (p - 1) mod ppb)
+  | L1 _ -> invalid_arg "Bkey.parent: negative L1"
+  | L2 0 -> In_inode_double
+  | L2 q when q > 0 -> In_block (L3, q - 1)
+  | L2 _ -> invalid_arg "Bkey.parent: negative L2"
+  | L3 -> In_inode_triple
+
+let level = function Data _ -> 0 | L1 _ -> 1 | L2 _ -> 2 | L3 -> 3
+
+(* Summary encoding: data lbns are stored as-is; indirect blocks use the
+   negative space, partitioned per level. *)
+let l1_base = 1
+let l2_base = 1 + (1 lsl 20)
+let l3_code = 1 + (1 lsl 21)
+let max_encodable_lbn = (1 lsl 28) - 1
+
+let encode = function
+  | Data lbn ->
+      if lbn < 0 || lbn > max_encodable_lbn then invalid_arg "Bkey.encode: lbn out of range";
+      lbn
+  | L1 p ->
+      if p < 0 || p >= 1 lsl 20 then invalid_arg "Bkey.encode: L1 out of range";
+      -(l1_base + p)
+  | L2 q ->
+      if q < 0 || q >= 1 lsl 20 then invalid_arg "Bkey.encode: L2 out of range";
+      -(l2_base + q)
+  | L3 -> -l3_code
+
+let decode v =
+  if v >= 0 then Data v
+  else
+    let m = -v in
+    if m = l3_code then L3
+    else if m >= l2_base then L2 (m - l2_base)
+    else L1 (m - l1_base)
+
+let max_data_lbn ~ppb =
+  let under_single = ndirect + ppb in
+  let under_double = under_single + (ppb * ppb) in
+  let under_triple = under_double + (ppb * ppb * ppb) in
+  min (under_triple - 1) max_encodable_lbn
+
+let pp fmt = function
+  | Data lbn -> Format.fprintf fmt "data[%d]" lbn
+  | L1 p -> Format.fprintf fmt "L1[%d]" p
+  | L2 q -> Format.fprintf fmt "L2[%d]" q
+  | L3 -> Format.fprintf fmt "L3"
+
+let equal a b = a = b
+let compare = Stdlib.compare

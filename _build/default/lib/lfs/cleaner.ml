@@ -1,0 +1,181 @@
+type policy = Greedy | Cost_benefit
+
+type result = { segments_cleaned : int; blocks_moved : int; bytes_moved : int }
+
+let select_victims fs ~policy ~limit =
+  let su = Fs.seguse fs in
+  let candidates = ref [] in
+  Segusage.iter su (fun seg e ->
+      if
+        e.state = Segusage.Dirty && seg <> Fs.cur_seg fs && seg <> Fs.next_seg fs
+      then candidates := (seg, e) :: !candidates);
+  let seg_bytes = Param.seg_bytes (Fs.param fs) in
+  let score (_, (e : Segusage.entry)) =
+    match policy with
+    | Greedy -> float_of_int e.live_bytes
+    | Cost_benefit ->
+        let u = float_of_int e.live_bytes /. float_of_int seg_bytes in
+        let age = Float.max 1.0 (Fs.now fs -. e.lastmod) in
+        (* higher benefit = better victim; negate for ascending sort *)
+        -.((1.0 -. u) *. age /. (1.0 +. u))
+  in
+  !candidates
+  |> List.sort (fun a b -> compare (score a) (score b))
+  |> List.filteri (fun i _ -> i < limit)
+  |> List.map fst
+
+(* Walk a segment's chain of partial summaries. *)
+let fold_partials fs seg f acc =
+  let p = Fs.param fs in
+  let dev = Fs.dev fs in
+  let base = Layout.seg_base p seg in
+  let rec go off acc =
+    if off >= p.Param.seg_blocks - 1 then acc
+    else
+      let sum_block = dev.Dev.read ~blk:(base + off) ~count:1 in
+      match Summary.deserialize sum_block with
+      | Error _ -> acc
+      | Ok (sum, _) ->
+          let nb = Summary.nblocks_total sum in
+          if off + 1 + nb > p.Param.seg_blocks then acc
+          else go (off + 1 + nb) (f acc ~off ~sum)
+  in
+  go 0 acc
+
+let scan_segment fs seg =
+  let p = Fs.param fs in
+  let base = Layout.seg_base p seg in
+  fold_partials fs seg
+    (fun acc ~off ~sum ->
+      let cursor = ref (base + off + 1) in
+      let records = ref [] in
+      List.iter
+        (fun fi ->
+          List.iter
+            (fun bkey ->
+              records := (!cursor, fi.Summary.fi_ino, bkey) :: !records;
+              incr cursor)
+            fi.Summary.fi_blocks)
+        sum.Summary.finfos;
+      List.iter (fun addr -> records := (addr, -1, Bkey.Data 0) :: !records) sum.Summary.inode_addrs;
+      acc @ List.rev !records)
+    []
+
+let is_live fs ~addr ~inum ~version bkey =
+  let e = Imap.get (Fs.imap fs) inum in
+  if e.addr = -1 || e.version <> version then false
+  else
+    match Fs.get_inode fs inum with
+    | exception Not_found -> false
+    | ino -> Fs.lookup_addr fs ino bkey = addr
+
+let collect_segment fs seg =
+  let p = Fs.param fs in
+  let dev = Fs.dev fs in
+  let base = Layout.seg_base p seg in
+  let moved = ref 0 in
+  ignore
+    (fold_partials fs seg
+       (fun () ~off ~sum ->
+         let cursor = ref (base + off + 1) in
+         (* live file blocks: drag them into the cache dirty so the next
+            flush re-homes them at the log tail *)
+         List.iter
+           (fun fi ->
+             let inum = fi.Summary.fi_ino in
+             List.iter
+               (fun bkey ->
+                 let addr = !cursor in
+                 incr cursor;
+                 if is_live fs ~addr ~inum ~version:fi.Summary.fi_version bkey then begin
+                   let key = (inum, bkey) in
+                   let cache = Fs.bcache fs in
+                   if not (Bcache.is_dirty cache key) then begin
+                     (match Bcache.find cache key with
+                     | Some _ -> Bcache.mark_dirty cache key
+                     | None ->
+                         let data = dev.Dev.read ~blk:addr ~count:1 in
+                         Bcache.put_dirty cache key ~old_addr:addr data);
+                     incr moved
+                   end
+                 end)
+               fi.Summary.fi_blocks)
+           sum.Summary.finfos;
+         (* live inodes: re-dirty them so they are re-packed elsewhere *)
+         List.iter
+           (fun inode_addr ->
+             let block = dev.Dev.read ~blk:inode_addr ~count:1 in
+             Inode.iter_block block (fun disk_ino ->
+                 let inum = disk_ino.Inode.inum in
+                 if inum > 0 && inum < Imap.max_inodes (Fs.imap fs) then begin
+                   let e = Imap.get (Fs.imap fs) inum in
+                   if e.addr = inode_addr && e.version = disk_ino.Inode.version then begin
+                     let ino = Fs.get_inode fs inum in
+                     Fs.mark_inode_dirty fs ino;
+                     incr moved
+                   end
+                 end))
+           sum.Summary.inode_addrs;
+         ())
+       ());
+  !moved
+
+let clean_segments fs segs =
+  Fs.set_cleaning fs true;
+  Fun.protect ~finally:(fun () -> Fs.set_cleaning fs false) @@ fun () ->
+  let bs = (Fs.param fs).Param.block_size in
+  let moved = List.fold_left (fun acc seg -> acc + collect_segment fs seg) 0 segs in
+  (* persist the moves before declaring the victims empty *)
+  Fs.checkpoint fs;
+  List.iter (fun seg -> Segusage.set_state (Fs.seguse fs) seg Segusage.Clean) segs;
+  { segments_cleaned = List.length segs; blocks_moved = moved; bytes_moved = moved * bs }
+
+let clean_once fs ?(policy = Cost_benefit) ?(max_segments = 4) () =
+  (* when the log is nearly full, clean one victim at a time: copying a
+     batch forward needs log space of its own *)
+  let max_segments = min max_segments (max 1 (Fs.nclean fs - 1)) in
+  match select_victims fs ~policy ~limit:max_segments with
+  | [] -> { segments_cleaned = 0; blocks_moved = 0; bytes_moved = 0 }
+  | victims -> clean_segments fs victims
+
+let clean_until fs ?(policy = Cost_benefit) ~target_clean () =
+  let total = ref { segments_cleaned = 0; blocks_moved = 0; bytes_moved = 0 } in
+  let rec go () =
+    if Fs.nclean fs < target_clean then begin
+      let before = Fs.nclean fs in
+      let r =
+        (* a cleaning pass that cannot fit its own copies stops the loop
+           rather than killing the caller; the disk is simply full *)
+        try clean_once fs ~policy ()
+        with Fs.No_space -> { segments_cleaned = 0; blocks_moved = 0; bytes_moved = 0 }
+      in
+      (* cleaning segments full of live data only shuffles it; stop when
+         a pass yields no net gain (the space must come from deletion or
+         migration instead) *)
+      if r.segments_cleaned > 0 && Fs.nclean fs > before then begin
+        total :=
+          {
+            segments_cleaned = !total.segments_cleaned + r.segments_cleaned;
+            blocks_moved = !total.blocks_moved + r.blocks_moved;
+            bytes_moved = !total.bytes_moved + r.bytes_moved;
+          };
+        go ()
+      end
+    end
+  in
+  go ();
+  !total
+
+let spawn_daemon fs ?(policy = Cost_benefit) ?(period = 5.0) ~low_water ~high_water () =
+  let stopped = ref false in
+  Sim.Engine.spawn (Fs.engine fs) ~name:"cleaner" (fun () ->
+      let rec loop () =
+        Sim.Engine.delay period;
+        if not !stopped then begin
+          if Fs.nclean fs < low_water then
+            ignore (clean_until fs ~policy ~target_clean:high_water ());
+          loop ()
+        end
+      in
+      loop ());
+  fun () -> stopped := true

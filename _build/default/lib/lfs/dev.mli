@@ -1,0 +1,18 @@
+(** The device interface the file system writes through. LFS sees one
+    flat block address space; plugging in a plain disk, a concatenated
+    disk farm, or HighLight's block-map driver (which routes tertiary
+    addresses through the segment cache) requires no file-system
+    changes — the layering of the paper's Figure 5. *)
+
+type t = {
+  nblocks : int;
+  block_size : int;
+  read : blk:int -> count:int -> Bytes.t;
+  write : blk:int -> data:Bytes.t -> unit;
+}
+
+val of_disk : Device.Disk.t -> t
+val of_concat : Device.Concat.t -> t
+
+val of_store : Device.Blockstore.t -> t
+(** Zero-latency device for logic-only unit tests. *)

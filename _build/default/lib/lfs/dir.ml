@@ -1,0 +1,217 @@
+exception Exists of string
+exception Not_dir of string
+exception Not_empty of string
+
+let bs fs = (Fs.param fs).Param.block_size
+
+let split_path path =
+  if String.length path = 0 || path.[0] <> '/' then invalid_arg "Dir: path must be absolute";
+  List.filter (fun s -> s <> "" && s <> ".") (String.split_on_char '/' path)
+
+let dirname_basename path =
+  match List.rev (split_path path) with
+  | [] -> invalid_arg "Dir: cannot operate on /"
+  | base :: rev_dir -> (List.rev rev_dir, base)
+
+let dir_nblocks fs ino = File.nblocks fs ino
+
+let lookup fs dir name =
+  if dir.Inode.kind <> Inode.Dir then raise (Not_dir (string_of_int dir.Inode.inum));
+  let n = dir_nblocks fs dir in
+  let rec go i =
+    if i >= n then None
+    else
+      match Fs.get_block fs dir (Bkey.Data i) with
+      | None -> go (i + 1)
+      | Some block -> (
+          match Dirent.find block name with Some inum -> Some inum | None -> go (i + 1))
+  in
+  go 0
+
+let root fs = Fs.get_inode fs 2
+
+let rec resolve fs dir = function
+  | [] -> dir
+  | ".." :: rest -> (
+      match lookup fs dir ".." with
+      | None -> raise Not_found
+      | Some inum -> resolve fs (Fs.get_inode fs inum) rest)
+  | name :: rest -> (
+      match lookup fs dir name with
+      | None -> raise Not_found
+      | Some inum -> resolve fs (Fs.get_inode fs inum) rest)
+
+let namei fs path = resolve fs (root fs) (split_path path)
+let namei_opt fs path = try Some (namei fs path) with Not_found -> None
+
+let parent_of fs path =
+  let dir_components, base = dirname_basename path in
+  let parent = resolve fs (root fs) dir_components in
+  if parent.Inode.kind <> Inode.Dir then raise (Not_dir path);
+  (parent, base)
+
+(* Insert an entry, extending the directory by one block if needed. *)
+let dir_add fs dir name inum =
+  let n = dir_nblocks fs dir in
+  let rec try_block i =
+    if i >= n then begin
+      let fresh = Bytes.make (bs fs) '\000' in
+      ignore (Dirent.add fresh name inum);
+      Fs.put_block fs dir (Bkey.Data n) fresh;
+      dir.Inode.size <- (n + 1) * bs fs;
+      dir.Inode.mtime <- Fs.now fs;
+      Fs.mark_inode_dirty fs dir
+    end
+    else begin
+      let block = Fs.get_block_for_write fs dir (Bkey.Data i) in
+      if Dirent.add block name inum then begin
+        dir.Inode.mtime <- Fs.now fs;
+        Fs.mark_inode_dirty fs dir
+      end
+      else try_block (i + 1)
+    end
+  in
+  try_block 0
+
+let dir_remove fs dir name =
+  let n = dir_nblocks fs dir in
+  let rec try_block i =
+    if i >= n then false
+    else
+      match Fs.get_block fs dir (Bkey.Data i) with
+      | None -> try_block (i + 1)
+      | Some probe ->
+          if Dirent.find probe name <> None then begin
+            let block = Fs.get_block_for_write fs dir (Bkey.Data i) in
+            ignore (Dirent.remove block name);
+            dir.Inode.mtime <- Fs.now fs;
+            Fs.mark_inode_dirty fs dir;
+            true
+          end
+          else try_block (i + 1)
+  in
+  try_block 0
+
+let create_node fs path ~kind =
+  let parent, base = parent_of fs path in
+  if lookup fs parent base <> None then raise (Exists path);
+  let ino = Fs.alloc_inode fs ~kind in
+  dir_add fs parent base ino.Inode.inum;
+  (match kind with
+  | Inode.Dir ->
+      ino.Inode.nlink <- 2;
+      ino.Inode.size <- bs fs;
+      let block = Bytes.make (bs fs) '\000' in
+      ignore (Dirent.add block "." ino.Inode.inum);
+      ignore (Dirent.add block ".." parent.Inode.inum);
+      Fs.put_block fs ino (Bkey.Data 0) block;
+      parent.Inode.nlink <- parent.Inode.nlink + 1;
+      Fs.mark_inode_dirty fs parent
+  | Inode.Reg | Inode.Symlink -> ());
+  Fs.mark_inode_dirty fs ino;
+  ino
+
+let create_file fs path = create_node fs path ~kind:Inode.Reg
+let mkdir fs path = create_node fs path ~kind:Inode.Dir
+
+let link fs ~existing ~path =
+  let target = namei fs existing in
+  if target.Inode.kind = Inode.Dir then raise (Not_dir existing);
+  let parent, base = parent_of fs path in
+  if lookup fs parent base <> None then raise (Exists path);
+  dir_add fs parent base target.Inode.inum;
+  target.Inode.nlink <- target.Inode.nlink + 1;
+  Fs.mark_inode_dirty fs target
+
+let symlink fs ~target ~path =
+  let ino = create_node fs path ~kind:Inode.Symlink in
+  File.write fs ino ~off:0 (Bytes.of_string target)
+
+let readlink fs path =
+  let ino = namei fs path in
+  if ino.Inode.kind <> Inode.Symlink then raise (Not_dir path);
+  Bytes.to_string (File.read fs ino ~off:0 ~len:ino.Inode.size)
+
+let drop_last_link fs ino =
+  ino.Inode.nlink <- ino.Inode.nlink - 1;
+  if ino.Inode.nlink <= 0 then begin
+    File.free_blocks fs ino;
+    (* the freed inode must reach the log so recovery learns of the
+       deletion: record it dirty with nlink=0 before releasing *)
+    Fs.mark_inode_dirty fs ino;
+    Fs.free_inode fs ino.Inode.inum
+  end
+  else Fs.mark_inode_dirty fs ino
+
+let unlink fs path =
+  let parent, base = parent_of fs path in
+  match lookup fs parent base with
+  | None -> raise Not_found
+  | Some inum ->
+      let ino = Fs.get_inode fs inum in
+      if ino.Inode.kind = Inode.Dir then raise (Not_dir path);
+      ignore (dir_remove fs parent base);
+      drop_last_link fs ino
+
+let readdir fs dir =
+  if dir.Inode.kind <> Inode.Dir then raise (Not_dir (string_of_int dir.Inode.inum));
+  let out = ref [] in
+  for i = dir_nblocks fs dir - 1 downto 0 do
+    match Fs.get_block fs dir (Bkey.Data i) with
+    | None -> ()
+    | Some block -> Dirent.iter block (fun name inum -> out := (name, inum) :: !out)
+  done;
+  !out
+
+let is_empty_dir fs dir =
+  List.for_all (fun (name, _) -> name = "." || name = "..") (readdir fs dir)
+
+let rmdir fs path =
+  let parent, base = parent_of fs path in
+  match lookup fs parent base with
+  | None -> raise Not_found
+  | Some inum ->
+      let ino = Fs.get_inode fs inum in
+      if ino.Inode.kind <> Inode.Dir then raise (Not_dir path);
+      if not (is_empty_dir fs ino) then raise (Not_empty path);
+      ignore (dir_remove fs parent base);
+      parent.Inode.nlink <- parent.Inode.nlink - 1;
+      Fs.mark_inode_dirty fs parent;
+      ino.Inode.nlink <- 0;
+      File.free_blocks fs ino;
+      Fs.mark_inode_dirty fs ino;
+      Fs.free_inode fs inum
+
+let rename fs ~src ~dst =
+  let ino = namei fs src in
+  let sparent, sbase = parent_of fs src in
+  let dparent, dbase = parent_of fs dst in
+  (match lookup fs dparent dbase with
+  | Some _ -> raise (Exists dst)
+  | None -> ());
+  ignore (dir_remove fs sparent sbase);
+  dir_add fs dparent dbase ino.Inode.inum;
+  if ino.Inode.kind = Inode.Dir && sparent.Inode.inum <> dparent.Inode.inum then begin
+    (* fix "..", and the parents' link counts *)
+    let block = Fs.get_block_for_write fs ino (Bkey.Data 0) in
+    ignore (Dirent.remove block "..");
+    ignore (Dirent.add block ".." dparent.Inode.inum);
+    sparent.Inode.nlink <- sparent.Inode.nlink - 1;
+    dparent.Inode.nlink <- dparent.Inode.nlink + 1;
+    Fs.mark_inode_dirty fs sparent;
+    Fs.mark_inode_dirty fs dparent;
+    Fs.mark_inode_dirty fs ino
+  end
+
+let rec walk fs path f =
+  let dir = namei fs path in
+  if dir.Inode.kind <> Inode.Dir then raise (Not_dir path);
+  List.iter
+    (fun (name, inum) ->
+      if name <> "." && name <> ".." then begin
+        let child = Fs.get_inode fs inum in
+        let child_path = if path = "/" then "/" ^ name else path ^ "/" ^ name in
+        f child_path child;
+        if child.Inode.kind = Inode.Dir then walk fs child_path f
+      end)
+    (readdir fs dir)

@@ -1,0 +1,42 @@
+(** Namespace operations: path resolution and directory maintenance.
+    Paths are absolute, '/'-separated; the root directory is inum 2.
+    Directory contents are ordinary file blocks, so everything here
+    rides on {!File} and migrates like file data. *)
+
+exception Exists of string
+exception Not_dir of string
+exception Not_empty of string
+
+val lookup : Fs.t -> Inode.t -> string -> int option
+(** One component in one directory. *)
+
+val namei : Fs.t -> string -> Inode.t
+(** Resolves an absolute path; raises [Not_found]. *)
+
+val namei_opt : Fs.t -> string -> Inode.t option
+
+val create_file : Fs.t -> string -> Inode.t
+(** Creates an empty regular file; raises {!Exists} / [Not_found]. *)
+
+val mkdir : Fs.t -> string -> Inode.t
+
+val link : Fs.t -> existing:string -> path:string -> unit
+(** Hard link to a regular file. *)
+
+val symlink : Fs.t -> target:string -> path:string -> unit
+val readlink : Fs.t -> string -> string
+
+val unlink : Fs.t -> string -> unit
+(** Removes a file name; frees the file when the last link drops. *)
+
+val rmdir : Fs.t -> string -> unit
+val rename : Fs.t -> src:string -> dst:string -> unit
+
+val readdir : Fs.t -> Inode.t -> (string * int) list
+(** Entries including "." and "..". *)
+
+val walk : Fs.t -> string -> (string -> Inode.t -> unit) -> unit
+(** Depth-first traversal from a directory path, invoking the callback
+    on every entry (files and directories) with its full path. Does not
+    disturb access times — the property the namespace-locality migration
+    policy depends on (paper §5.3). *)

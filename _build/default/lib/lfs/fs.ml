@@ -1,0 +1,894 @@
+open Util
+
+exception No_space
+
+type hooks = {
+  is_foreign : int -> bool;
+  account_foreign : addr:int -> int -> unit;
+  pre_checkpoint : t -> unit;
+  reclaim : unit -> bool;
+}
+
+and t = {
+  engine : Sim.Engine.t;
+  mutable prm : Param.t;
+  mutable device : Dev.t;
+  tertiary_cfg : Superblock.tertiary option;
+  inode_map : Imap.t;
+  seg_usage : Segusage.t;
+  cache : Bcache.t;
+  itable : (int, Inode.t) Hashtbl.t;
+  dirty_inodes : (int, unit) Hashtbl.t;
+  dead_inodes : Inode.t Queue.t;  (* freed inodes awaiting a log record *)
+  mutable cur_seg : int;
+  mutable cur_off : int;
+  mutable next_seg : int;
+  mutable serial : int64;
+  mutable cp_slot : int;
+  mutable tvol : int;
+  mutable tseg_in_vol : int;
+  mutable hooks : hooks;
+  mutable cleaning : bool;
+  mutable in_flush : bool;
+  mutable n_segs_written : int;
+  mutable n_partials : int;
+  mutable cache_floor : int;
+}
+
+let no_hooks =
+  {
+    is_foreign = (fun _ -> false);
+    account_foreign = (fun ~addr:_ _ -> ());
+    pre_checkpoint = ignore;
+    reclaim = (fun () -> false);
+  }
+
+let param t = t.prm
+let engine t = t.engine
+let dev t = t.device
+let tertiary_config t = t.tertiary_cfg
+let imap t = t.inode_map
+let seguse t = t.seg_usage
+let bcache t = t.cache
+let cur_seg t = t.cur_seg
+let cur_off t = t.cur_off
+let next_seg t = t.next_seg
+let serial t = t.serial
+let now t = Sim.Engine.now t.engine
+let tvol t = t.tvol
+let tseg_in_vol t = t.tseg_in_vol
+
+let set_tertiary_cursor t ~tvol ~tseg_in_vol =
+  t.tvol <- tvol;
+  t.tseg_in_vol <- tseg_in_vol
+
+let set_hooks t h = t.hooks <- h
+let set_cleaning t b = t.cleaning <- b
+let nclean t = Segusage.nclean t.seg_usage
+let segments_written t = t.n_segs_written
+let partials_written t = t.n_partials
+let iter_files t f = Imap.iter_allocated t.inode_map f
+
+let charge_cpu (_ : t) secs = if secs > 0.0 then Sim.Engine.delay secs
+
+let charge_copy t bytes =
+  let rate = t.prm.cpu.copy_rate in
+  if Float.is_finite rate && bytes > 0 then Sim.Engine.delay (float_of_int bytes /. rate)
+
+(* ---------- Space accounting ---------- *)
+
+let account t ~addr delta =
+  if addr >= 0 then
+    if t.hooks.is_foreign addr then t.hooks.account_foreign ~addr delta
+    else
+      match Layout.seg_of_addr t.prm addr with
+      | Some seg -> Segusage.add_live t.seg_usage seg delta
+      | None -> ()
+
+(* ---------- Inode management ---------- *)
+
+let ifile_inum = 1
+let root_inum = 2
+let tseg_inum = 3
+
+let mark_inode_dirty t ino = Hashtbl.replace t.dirty_inodes ino.Inode.inum ()
+
+let get_inode t inum =
+  match Hashtbl.find_opt t.itable inum with
+  | Some ino -> ino
+  | None ->
+      let e = Imap.get t.inode_map inum in
+      if e.addr = -1 then raise Not_found
+      else if e.addr = 0 then
+        (* allocated this session but never flushed: must be in core *)
+        raise Not_found
+      else begin
+        charge_cpu t t.prm.cpu.per_block;
+        let block = t.device.read ~blk:e.addr ~count:1 in
+        match Inode.find_in_block block ~inum with
+        | None -> failwith (Printf.sprintf "Fs.get_inode: inode %d missing at %d" inum e.addr)
+        | Some ino ->
+            Hashtbl.replace t.itable inum ino;
+            ino
+      end
+
+let alloc_inode t ~kind =
+  let inum = Imap.alloc t.inode_map in
+  let e = Imap.get t.inode_map inum in
+  let ino = Inode.create ~inum ~kind ~version:e.version ~now:(now t) in
+  Hashtbl.replace t.itable inum ino;
+  mark_inode_dirty t ino;
+  e.atime <- now t;
+  ino
+
+let free_inode t inum =
+  let e = Imap.get t.inode_map inum in
+  if e.addr > 0 then account t ~addr:e.addr (-Inode.isize);
+  (* record a zero-nlink inode in the log so roll-forward replays the
+     deletion after a crash *)
+  (match Hashtbl.find_opt t.itable inum with
+  | Some ino ->
+      ino.Inode.nlink <- 0;
+      Queue.add ino t.dead_inodes
+  | None -> ());
+  Imap.free t.inode_map inum;
+  Hashtbl.remove t.itable inum;
+  Hashtbl.remove t.dirty_inodes inum
+
+let touch_atime t inum = Imap.set_atime t.inode_map inum (now t)
+
+(* ---------- Block mapping ---------- *)
+
+let ppb t = t.prm.block_size / 4
+
+let rec get_block t ino bkey =
+  let key = (ino.Inode.inum, bkey) in
+  match Bcache.find t.cache key with
+  | Some data -> Some data
+  | None -> (
+      Bcache.note_miss t.cache;
+      match lookup_addr t ino bkey with
+      | -1 -> None
+      | addr ->
+          charge_cpu t t.prm.cpu.per_block;
+          let data = t.device.read ~blk:addr ~count:1 in
+          Bcache.put_clean t.cache key ~addr data;
+          Some data)
+
+and lookup_addr t ino bkey =
+  match Bkey.parent ~ppb:(ppb t) bkey with
+  | (Bkey.In_inode_direct _ | Bkey.In_inode_single | Bkey.In_inode_double | Bkey.In_inode_triple)
+    as p ->
+      Inode.get_inode_slot ino p
+  | Bkey.In_block (pbk, slot) -> (
+      match get_block t ino pbk with
+      | None -> -1
+      | Some pdata -> Bytesx.get_i32 pdata (slot * 4))
+
+let get_block_for_write t ino bkey =
+  let key = (ino.Inode.inum, bkey) in
+  match Bcache.find t.cache key with
+  | Some data ->
+      if not (Bcache.is_dirty t.cache key) then Bcache.mark_dirty t.cache key;
+      data
+  | None -> (
+      match lookup_addr t ino bkey with
+      | -1 ->
+          (* data holes are zeros; indirect-block holes must decode as
+             "unassigned" pointers, i.e. every slot -1 *)
+          let fill = if Bkey.level bkey = 0 then '\000' else '\xff' in
+          let data = Bytes.make t.prm.block_size fill in
+          Bcache.put_dirty t.cache key ~old_addr:(-1) data;
+          data
+      | addr ->
+          charge_cpu t t.prm.cpu.per_block;
+          let data = t.device.read ~blk:addr ~count:1 in
+          Bcache.put_dirty t.cache key ~old_addr:addr data;
+          data)
+
+let put_block t ino bkey data =
+  if Bytes.length data <> t.prm.block_size then invalid_arg "Fs.put_block: wrong size";
+  let key = (ino.Inode.inum, bkey) in
+  let old_addr =
+    match Bcache.find t.cache key with
+    | Some _ -> Bcache.addr_of t.cache key
+    | None -> lookup_addr t ino bkey
+  in
+  Bcache.put_dirty t.cache key ~old_addr data
+
+let drop_block t ino bkey = Bcache.drop t.cache (ino.Inode.inum, bkey)
+
+let set_pointer t ino bkey addr =
+  match Bkey.parent ~ppb:(ppb t) bkey with
+  | (Bkey.In_inode_direct _ | Bkey.In_inode_single | Bkey.In_inode_double | Bkey.In_inode_triple)
+    as p ->
+      Inode.set_inode_slot ino p addr;
+      mark_inode_dirty t ino
+  | Bkey.In_block (pbk, slot) ->
+      let pdata = get_block_for_write t ino pbk in
+      Bytesx.set_i32 pdata (slot * 4) addr
+
+let zap_pointer t ino bkey =
+  let addr = lookup_addr t ino bkey in
+  let key = (ino.Inode.inum, bkey) in
+  let cached_old =
+    match Bcache.find t.cache key with
+    | Some _ -> ( try Bcache.addr_of t.cache key with Not_found -> -1)
+    | None -> -1
+  in
+  let victim = if addr >= 0 then addr else cached_old in
+  if victim >= 0 then account t ~addr:victim (-t.prm.block_size);
+  Bcache.drop t.cache key;
+  if addr >= 0 then set_pointer t ino bkey (-1)
+
+let repoint t ino bkey new_addr =
+  let key = (ino.Inode.inum, bkey) in
+  if Bcache.is_dirty t.cache key then invalid_arg "Fs.repoint: block is dirty";
+  let old_addr = lookup_addr t ino bkey in
+  if old_addr >= 0 then account t ~addr:old_addr (-t.prm.block_size);
+  account t ~addr:new_addr t.prm.block_size;
+  set_pointer t ino bkey new_addr;
+  (match Bcache.find t.cache key with
+  | Some _ -> Bcache.set_addr t.cache key new_addr
+  | None -> ())
+
+(* ---------- The segment writer ---------- *)
+
+(* Blocks of an open partial: identity for the summary plus payload. *)
+type staged =
+  | File_block of Bcache.key
+  | Inode_block of int list  (* inums packed in it *)
+
+let seg_remaining t = t.prm.seg_blocks - t.cur_off
+
+let advance_segment t =
+  (* Retire the active segment and move to the reserved successor; the
+     successor's replacement is chosen before any state changes, so
+     running out of segments leaves the log untouched. *)
+  let su = t.seg_usage in
+  let fresh = t.next_seg in
+  assert ((Segusage.get su fresh).state = Segusage.Clean);
+  let successor =
+    match Segusage.next_clean su ~after:fresh with
+    | Some s when s <> fresh -> s
+    | _ -> raise No_space
+  in
+  if (Segusage.get su t.cur_seg).state = Segusage.Active then
+    Segusage.set_state su t.cur_seg Segusage.Dirty;
+  Segusage.set_lastmod su t.cur_seg (now t);
+  Segusage.set_state su fresh Segusage.Active;
+  t.cur_seg <- fresh;
+  t.cur_off <- 0;
+  t.n_segs_written <- t.n_segs_written + 1;
+  t.next_seg <- successor
+
+type partial = {
+  p_start : int;  (* offset of the summary block within the segment *)
+  mutable p_blocks : (staged * Bytes.t) list;  (* reversed *)
+  mutable p_nblocks : int;
+  mutable p_sum_bytes : int;  (* running summary-space estimate *)
+  mutable p_last_ino : int;  (* for finfo run-length grouping *)
+}
+
+let open_partial t =
+  if seg_remaining t < 2 then advance_segment t;
+  let p =
+    {
+      p_start = t.cur_off;
+      p_blocks = [];
+      p_nblocks = 0;
+      p_sum_bytes = Summary.header_bytes;
+      p_last_ino = -1;
+    }
+  in
+  t.cur_off <- t.cur_off + 1;
+  (* summary block *)
+  p
+
+let finfos_of_partial t p =
+  let groups = ref [] in
+  List.iter
+    (fun (staged, _) ->
+      match staged with
+      | Inode_block _ -> ()
+      | File_block (inum, bkey) -> (
+          match !groups with
+          | (i, blocks) :: rest when i = inum -> groups := (i, bkey :: blocks) :: rest
+          | _ -> groups := (inum, [ bkey ]) :: !groups))
+    (List.rev p.p_blocks);
+  List.rev_map
+    (fun (inum, blocks_rev) ->
+      let e = Imap.get t.inode_map inum in
+      let lastlength =
+        match Hashtbl.find_opt t.itable inum with
+        | Some ino when ino.Inode.size mod t.prm.block_size <> 0 ->
+            ino.Inode.size mod t.prm.block_size
+        | _ -> t.prm.block_size
+      in
+      {
+        Summary.fi_ino = inum;
+        fi_version = e.version;
+        fi_lastlength = lastlength;
+        fi_blocks = List.rev blocks_rev;
+      })
+    !groups
+
+let close_partial t p =
+  if p.p_blocks = [] then begin
+    (* nothing was staged: return the reserved summary slot *)
+    t.cur_off <- t.cur_off - 1;
+    assert (t.cur_off = p.p_start)
+  end
+  else begin
+    let bs = t.prm.block_size in
+    let blocks = List.rev p.p_blocks in
+    let ndata = List.length blocks in
+    let data = Bytes.create (ndata * bs) in
+    List.iteri (fun i (_, payload) -> Bytes.blit payload 0 data (i * bs) bs) blocks;
+    let base = Layout.seg_base t.prm t.cur_seg + p.p_start in
+    let inode_addrs =
+      List.concat
+        (List.mapi
+           (fun i (staged, _) ->
+             match staged with Inode_block _ -> [ base + 1 + i ] | File_block _ -> [])
+           blocks)
+    in
+    let summary =
+      {
+        Summary.ss_next = Layout.seg_base t.prm t.next_seg;
+        ss_create = now t;
+        ss_serial = Int64.add t.serial 1L;
+        ss_flags = 0;
+        finfos = finfos_of_partial t p;
+        inode_addrs;
+      }
+    in
+    t.serial <- Int64.add t.serial 1L;
+    let sum_block = Summary.serialize ~block_size:bs ~data_crc:(Crc32.bytes data) summary in
+    let image = Bytes.cat sum_block data in
+    charge_copy t (Bytes.length image);
+    t.device.write ~blk:base ~data:image;
+    t.n_partials <- t.n_partials + 1;
+    (* summary blocks are not counted live: they die with their partial
+       and the cleaner never needs to move them *)
+    Segusage.set_lastmod t.seg_usage t.cur_seg (now t);
+    (* now that bytes are on the device, clean the cache entries *)
+    List.iteri
+      (fun i (staged, _) ->
+        match staged with
+        | File_block key -> Bcache.mark_flushed t.cache key ~addr:(base + 1 + i)
+        | Inode_block _ -> ())
+      blocks
+  end
+
+(* Space the block's summary record needs. *)
+let summary_cost p staged =
+  match staged with
+  | Inode_block _ -> 4
+  | File_block (inum, _) -> if inum = p.p_last_ino then 4 else 16
+
+(* Stage one block into the log, returning its assigned address. *)
+let stage_block t pref staged payload =
+  let p = !pref in
+  let bs = t.prm.block_size in
+  let need_new_partial =
+    seg_remaining t < 1 || p.p_sum_bytes + summary_cost p staged > bs
+  in
+  let p =
+    if need_new_partial then begin
+      close_partial t p;
+      let np = open_partial t in
+      pref := np;
+      np
+    end
+    else p
+  in
+  let addr = Layout.seg_base t.prm t.cur_seg + t.cur_off in
+  t.cur_off <- t.cur_off + 1;
+  p.p_sum_bytes <- p.p_sum_bytes + summary_cost p staged;
+  (match staged with
+  | File_block (inum, _) -> p.p_last_ino <- inum
+  | Inode_block _ -> p.p_last_ino <- -1);
+  p.p_blocks <- (staged, payload) :: p.p_blocks;
+  p.p_nblocks <- p.p_nblocks + 1;
+  addr
+
+let segments_needed t extra_blocks =
+  let bs_per_seg = Param.data_blocks_per_seg t.prm in
+  let data = Bcache.dirty_count t.cache + extra_blocks in
+  (* count the indirect blocks the dirty set can touch, exactly: every
+     distinct ancestor of a dirty block may be dirtied by set_pointer *)
+  let ancestors = Hashtbl.create 32 in
+  List.iter
+    (fun ((inum, bkey), _, _) ->
+      let rec walk bkey =
+        match Bkey.parent ~ppb:(ppb t) bkey with
+        | Bkey.In_block (pbk, _) ->
+            if not (Hashtbl.mem ancestors (inum, pbk)) then begin
+              Hashtbl.replace ancestors (inum, pbk) ();
+              walk pbk
+            end
+        | _ -> ()
+      in
+      walk bkey)
+    (Bcache.dirty_entries t.cache);
+  let indirect = Hashtbl.length ancestors in
+  let ipb = Inode.per_block ~block_size:t.prm.block_size in
+  (* every file with a dirty block gets its inode rewritten too *)
+  let owners = Hashtbl.create 32 in
+  List.iter
+    (fun ((inum, _), _, _) -> Hashtbl.replace owners inum ())
+    (Bcache.dirty_entries t.cache);
+  Hashtbl.iter (fun inum () -> Hashtbl.replace owners inum ()) t.dirty_inodes;
+  let ninodes = Hashtbl.length owners + Queue.length t.dead_inodes in
+  let inode_blocks = ((ninodes + ipb - 1) / ipb) + 1 in
+  let total = data + indirect + inode_blocks in
+  let summaries = (total / bs_per_seg) + 2 in
+  ((total + summaries + bs_per_seg - 1) / bs_per_seg) + 1
+
+let ensure_space t =
+  let needed = segments_needed t 0 in
+  let reserve = if t.cleaning then 0 else t.prm.clean_reserve in
+  (* the current segment's remaining room counts as free space *)
+  let free () = nclean t + if seg_remaining t > 1 then 1 else 0 in
+  (* under pressure, ask the hierarchy layer to give back read-only
+     cache lines before declaring the disk full *)
+  while free () - reserve < needed && t.hooks.reclaim () do
+    ()
+  done;
+  if free () - reserve < needed then raise No_space
+
+let flush t =
+  if
+    Hashtbl.length t.dirty_inodes > 0
+    || Bcache.dirty_count t.cache > 0
+    || not (Queue.is_empty t.dead_inodes)
+  then begin
+    if t.in_flush then failwith "Fs.flush: reentrant flush";
+    ensure_space t;
+    t.in_flush <- true;
+    Fun.protect ~finally:(fun () -> t.in_flush <- false) @@ fun () ->
+    let bs = t.prm.block_size in
+    let pref = ref (open_partial t) in
+    (* Levels 0-3: data blocks, then L1, L2, L3 indirect blocks. Each
+       level's flush assigns addresses and dirties the parents that the
+       next level picks up. *)
+    for level = 0 to 3 do
+      let entries =
+        List.filter (fun ((_, bkey), _, _) -> Bkey.level bkey = level)
+          (Bcache.dirty_entries t.cache)
+      in
+      let entries =
+        List.sort (fun ((i1, b1), _, _) ((i2, b2), _, _) ->
+            match compare i1 i2 with 0 -> Bkey.compare b1 b2 | c -> c)
+          entries
+      in
+      List.iter
+        (fun ((inum, bkey), data, old_addr) ->
+          let ino = try get_inode t inum with Not_found ->
+            failwith (Printf.sprintf "Fs.flush: dirty block of missing inode %d" inum)
+          in
+          let addr = stage_block t pref (File_block (inum, bkey)) data in
+          if old_addr >= 0 then account t ~addr:old_addr (-bs);
+          account t ~addr bs;
+          set_pointer t ino bkey addr)
+        entries
+    done;
+    (* Inode blocks: pack dirty inodes (and zero-nlink corpses, which
+       roll-forward uses to replay deletions) and point the inode map at
+       the live ones. *)
+    let dirty_inums =
+      List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) t.dirty_inodes [])
+    in
+    let live = List.map (fun inum -> (get_inode t inum, true)) dirty_inums in
+    let dead =
+      let acc = ref [] in
+      while not (Queue.is_empty t.dead_inodes) do
+        acc := (Queue.pop t.dead_inodes, false) :: !acc
+      done;
+      List.rev !acc
+    in
+    let ipb = Inode.per_block ~block_size:bs in
+    let rec pack = function
+      | [] -> ()
+      | batch ->
+          let take = min ipb (List.length batch) in
+          let chunk = List.filteri (fun i _ -> i < take) batch in
+          let rest = List.filteri (fun i _ -> i >= take) batch in
+          let block = Inode.pack_block ~block_size:bs (List.map fst chunk) in
+          let inums = List.map (fun (ino, _) -> ino.Inode.inum) chunk in
+          let addr = stage_block t pref (Inode_block inums) block in
+          (* inode blocks are accounted per inode, matching the per-inode
+             decrement when an inode later moves out or is freed *)
+          account t ~addr (Inode.isize * List.length (List.filter snd chunk));
+          List.iter
+            (fun (ino, is_live) ->
+              if is_live then begin
+                let e = Imap.get t.inode_map ino.Inode.inum in
+                if e.addr > 0 then account t ~addr:e.addr (-Inode.isize);
+                Imap.set_addr t.inode_map ino.Inode.inum addr
+              end)
+            chunk;
+          pack rest
+    in
+    pack (live @ dead);
+    Hashtbl.reset t.dirty_inodes;
+    close_partial t !pref
+  end
+
+let maybe_flush t =
+  if Bcache.dirty_count t.cache >= Param.data_blocks_per_seg t.prm then flush t
+
+(* ---------- Ifile serialization & checkpoint ---------- *)
+
+let su_blocks t = Segusage.nblocks ~nsegs:t.prm.nsegs ~block_size:t.prm.block_size
+let im_blocks t = Imap.nblocks ~max_inodes:t.prm.max_inodes ~block_size:t.prm.block_size
+
+let serialize_tables t =
+  let bs = t.prm.block_size in
+  let ifile = get_inode t ifile_inum in
+  let su = su_blocks t in
+  List.iter
+    (fun idx ->
+      put_block t ifile (Bkey.Data idx) (Segusage.serialize_block t.seg_usage ~block_size:bs idx))
+    (Segusage.dirty_blocks t.seg_usage ~block_size:bs);
+  List.iter
+    (fun idx ->
+      put_block t ifile (Bkey.Data (su + idx))
+        (Imap.serialize_block t.inode_map ~block_size:bs idx))
+    (Imap.dirty_blocks t.inode_map ~block_size:bs);
+  Segusage.clear_dirty t.seg_usage;
+  Imap.clear_dirty t.inode_map;
+  mark_inode_dirty t ifile
+
+let write_checkpoint_region t =
+  let cp =
+    {
+      Superblock.serial = t.serial;
+      timestamp = now t;
+      ifile_inode_addr = (Imap.get t.inode_map ifile_inum).addr;
+      cur_seg = t.cur_seg;
+      cur_off = t.cur_off;
+      next_seg = t.next_seg;
+      tvol = t.tvol;
+      tseg_in_vol = t.tseg_in_vol;
+    }
+  in
+  let block = Superblock.serialize_checkpoint ~block_size:t.prm.block_size cp in
+  t.device.write ~blk:(Layout.checkpoint_addr t.cp_slot) ~data:block;
+  t.cp_slot <- 1 - t.cp_slot
+
+let checkpoint t =
+  t.hooks.pre_checkpoint t;
+  (* checkpoints may draw on the cleaner's reserve: that bound exists
+     precisely so the metadata flush always fits *)
+  let was_cleaning = t.cleaning in
+  t.cleaning <- true;
+  Fun.protect ~finally:(fun () -> t.cleaning <- was_cleaning) @@ fun () ->
+  flush t;
+  serialize_tables t;
+  flush t;
+  write_checkpoint_region t
+
+let unmount t =
+  checkpoint t;
+  Hashtbl.reset t.itable
+
+(* ---------- Segment pool for HighLight ---------- *)
+
+let set_cache_floor t floor = t.cache_floor <- max 0 (min floor (t.prm.nsegs - 1))
+
+let alloc_clean_segment t ~for_cache =
+  (* cache lines may dig nearly to the bottom: a demand fetch is a
+     liveness requirement and staging is how a full disk frees itself;
+     the static line cap bounds the total, and the log takes lines back
+     through the reclaim hook when it starves *)
+  ignore for_cache;
+  if nclean t <= 2 then None
+  else
+    let rec pick after tries =
+      if tries > t.prm.nsegs then None
+      else
+        match Segusage.next_clean t.seg_usage ~after with
+        | None -> None
+        | Some s when s = t.next_seg || s = t.cur_seg || s < t.cache_floor ->
+            if s <= after && tries > 0 then None (* wrapped below the floor *)
+            else pick s (tries + 1)
+        | Some s ->
+            Segusage.set_state t.seg_usage s Segusage.Cached;
+            Some s
+    in
+    pick (max (t.cache_floor - 1) t.cur_seg) 0
+
+let release_segment t seg =
+  Segusage.set_state t.seg_usage seg Segusage.Clean;
+  Segusage.set_cache_tag t.seg_usage seg (-1)
+
+let write_superblock t =
+  t.device.write ~blk:Layout.superblock_addr
+    ~data:
+      (Superblock.serialize ~block_size:t.prm.block_size
+         {
+           Superblock.block_size = t.prm.block_size;
+           seg_blocks = t.prm.seg_blocks;
+           nsegs = t.prm.nsegs;
+           max_inodes = t.prm.max_inodes;
+           tertiary = t.tertiary_cfg;
+         })
+
+let grow t ~added_segs ?new_dev () =
+  if added_segs <= 0 then invalid_arg "Fs.grow";
+  let prm' = { t.prm with Param.nsegs = t.prm.nsegs + added_segs } in
+  let dev = Option.value new_dev ~default:t.device in
+  if dev.Dev.block_size <> t.prm.block_size then invalid_arg "Fs.grow: block size mismatch";
+  if dev.Dev.nblocks < Layout.disk_blocks prm' then invalid_arg "Fs.grow: device too small";
+  (* quiesce on the old geometry, then extend *)
+  checkpoint t;
+  t.device <- dev;
+  Segusage.grow t.seg_usage ~by:added_segs ~seg_bytes:(Param.seg_bytes t.prm);
+  t.prm <- prm';
+  (* the segment-usage table grew, which shifts the inode map's position
+     inside the ifile: rewrite the whole ifile from the in-core tables *)
+  Segusage.mark_all_dirty t.seg_usage;
+  Imap.mark_all_dirty t.inode_map;
+  let ifile = get_inode t ifile_inum in
+  ifile.Inode.size <- (su_blocks t + im_blocks t) * t.prm.block_size;
+  mark_inode_dirty t ifile;
+  write_superblock t;
+  checkpoint t
+
+(* ---------- mkfs / mount / recovery ---------- *)
+
+let make_state engine prm device tertiary_cfg =
+  Param.validate prm;
+  if device.Dev.block_size <> prm.block_size then invalid_arg "Fs: device block size mismatch";
+  if device.Dev.nblocks < Layout.disk_blocks prm then invalid_arg "Fs: device too small";
+  {
+    engine;
+    prm;
+    device;
+    tertiary_cfg;
+    inode_map = Imap.create ~max_inodes:prm.max_inodes;
+    seg_usage = Segusage.create ~nsegs:prm.nsegs ~seg_bytes:(Param.seg_bytes prm);
+    cache = Bcache.create ~cap:prm.bcache_blocks;
+    itable = Hashtbl.create 64;
+    dirty_inodes = Hashtbl.create 16;
+    dead_inodes = Queue.create ();
+    cur_seg = 0;
+    cur_off = 0;
+    next_seg = 1;
+    serial = 0L;
+    cp_slot = 0;
+    tvol = 0;
+    tseg_in_vol = 0;
+    hooks = no_hooks;
+    cleaning = false;
+    in_flush = false;
+    n_segs_written = 0;
+    n_partials = 0;
+    cache_floor = 0;
+  }
+
+let mkfs engine prm device ?tertiary () =
+  let t = make_state engine prm device tertiary in
+  Segusage.set_state t.seg_usage 0 Segusage.Active;
+  (* ifile *)
+  Imap.alloc_specific t.inode_map ifile_inum;
+  let ifile =
+    Inode.create ~inum:ifile_inum ~kind:Inode.Reg
+      ~version:(Imap.get t.inode_map ifile_inum).version ~now:(now t)
+  in
+  ifile.Inode.size <- (su_blocks t + im_blocks t) * prm.block_size;
+  Hashtbl.replace t.itable ifile_inum ifile;
+  mark_inode_dirty t ifile;
+  (* root directory *)
+  Imap.alloc_specific t.inode_map root_inum;
+  let root =
+    Inode.create ~inum:root_inum ~kind:Inode.Dir
+      ~version:(Imap.get t.inode_map root_inum).version ~now:(now t)
+  in
+  root.Inode.nlink <- 2;
+  root.Inode.size <- prm.block_size;
+  Hashtbl.replace t.itable root_inum root;
+  mark_inode_dirty t root;
+  let dirblock = Bytes.make prm.block_size '\000' in
+  ignore (Dirent.add dirblock "." root_inum);
+  ignore (Dirent.add dirblock ".." root_inum);
+  put_block t root (Bkey.Data 0) dirblock;
+  (* tsegfile when a tertiary hierarchy is configured *)
+  (match tertiary with
+  | None -> ()
+  | Some _ ->
+      Imap.alloc_specific t.inode_map tseg_inum;
+      let tf =
+        Inode.create ~inum:tseg_inum ~kind:Inode.Reg
+          ~version:(Imap.get t.inode_map tseg_inum).version ~now:(now t)
+      in
+      Hashtbl.replace t.itable tseg_inum tf;
+      mark_inode_dirty t tf);
+  Segusage.mark_all_dirty t.seg_usage;
+  Imap.mark_all_dirty t.inode_map;
+  write_superblock t;
+  checkpoint t;
+  t
+
+let apply_inode_block t addr block =
+  Inode.iter_block block (fun ino ->
+      let inum = ino.Inode.inum in
+      if inum <> ifile_inum && inum <> tseg_inum && inum < Imap.max_inodes t.inode_map then begin
+        if ino.Inode.nlink = 0 then begin
+          let e = Imap.get t.inode_map inum in
+          if e.addr <> -1 then begin
+            Imap.set_addr t.inode_map inum (-1);
+            (* keep version moving so stale summaries lose liveness checks *)
+            e.version <- max e.version ino.Inode.version
+          end
+        end
+        else begin
+          Imap.set_addr t.inode_map inum addr;
+          (Imap.get t.inode_map inum).version <- ino.Inode.version;
+          Hashtbl.remove t.itable inum
+        end
+      end)
+
+let roll_forward t cp =
+  let bs = t.prm.block_size in
+  let expected = ref (Int64.add cp.Superblock.serial 1L) in
+  let seg = ref cp.cur_seg and off = ref cp.cur_off and nseg = ref cp.next_seg in
+  if !off >= t.prm.seg_blocks - 1 then begin
+    seg := cp.next_seg;
+    off := 0
+  end;
+  let continue_scan = ref true in
+  while !continue_scan do
+    let base = Layout.seg_base t.prm !seg in
+    let sum_block = t.device.read ~blk:(base + !off) ~count:1 in
+    match Summary.deserialize sum_block with
+    | Error _ -> continue_scan := false
+    | Ok (sum, datasum) ->
+        if sum.Summary.ss_serial <> !expected then continue_scan := false
+        else begin
+          let nb = Summary.nblocks_total sum in
+          if !off + 1 + nb > t.prm.seg_blocks then continue_scan := false
+          else begin
+            let data = if nb = 0 then Bytes.empty else t.device.read ~blk:(base + !off + 1) ~count:nb in
+            if nb > 0 && Crc32.bytes data <> datasum then continue_scan := false
+            else begin
+              (* intact partial: apply *)
+              t.serial <- sum.Summary.ss_serial;
+              if (Segusage.get t.seg_usage !seg).state = Segusage.Clean then
+                Segusage.set_state t.seg_usage !seg Segusage.Dirty
+              else if (Segusage.get t.seg_usage !seg).state = Segusage.Cached then
+                Segusage.set_state t.seg_usage !seg Segusage.Dirty;
+              Segusage.add_live t.seg_usage !seg (nb * bs);
+              List.iter
+                (fun inode_addr ->
+                  let rel = inode_addr - (base + !off + 1) in
+                  if rel >= 0 && rel < nb then
+                    apply_inode_block t inode_addr (Bytes.sub data (rel * bs) bs))
+                sum.Summary.inode_addrs;
+              expected := Int64.add !expected 1L;
+              off := !off + 1 + nb;
+              (match Layout.seg_of_addr t.prm sum.Summary.ss_next with
+              | Some s -> nseg := s
+              | None -> ());
+              if !off >= t.prm.seg_blocks - 1 then begin
+                seg := !nseg;
+                off := 0
+              end
+            end
+          end
+        end
+  done;
+  t.cur_seg <- !seg;
+  t.cur_off <- !off;
+  t.next_seg <- !nseg;
+  (match (Segusage.get t.seg_usage !seg).state with
+  | Segusage.Clean | Segusage.Dirty -> Segusage.set_state t.seg_usage !seg Segusage.Active
+  | Segusage.Active -> ()
+  | Segusage.Cached -> Segusage.set_state t.seg_usage !seg Segusage.Active);
+  if (Segusage.get t.seg_usage t.next_seg).state <> Segusage.Clean then begin
+    match Segusage.next_clean t.seg_usage ~after:t.cur_seg with
+    | Some s -> t.next_seg <- s
+    | None -> raise No_space
+  end
+
+let mount engine ?(cpu = Param.cpu_1993) ?bcache_blocks device =
+  let sb_block = device.Dev.read ~blk:Layout.superblock_addr ~count:1 in
+  let sb =
+    match Superblock.deserialize sb_block with
+    | Ok sb -> sb
+    | Error msg -> failwith ("Fs.mount: " ^ msg)
+  in
+  let prm =
+    {
+      Param.block_size = sb.Superblock.block_size;
+      seg_blocks = sb.seg_blocks;
+      nsegs = sb.nsegs;
+      max_inodes = sb.max_inodes;
+      bcache_blocks = Option.value bcache_blocks ~default:800;
+      clean_reserve = (Param.default ~nsegs:sb.nsegs).clean_reserve;
+      cpu;
+    }
+  in
+  let t = make_state engine prm device sb.Superblock.tertiary in
+  let cp0 = Superblock.deserialize_checkpoint (device.Dev.read ~blk:(Layout.checkpoint_addr 0) ~count:1) in
+  let cp1 = Superblock.deserialize_checkpoint (device.Dev.read ~blk:(Layout.checkpoint_addr 1) ~count:1) in
+  let cp =
+    match (cp0, cp1) with
+    | Some a, Some b -> if a.Superblock.serial >= b.Superblock.serial then a else b
+    | Some a, None -> a
+    | None, Some b -> b
+    | None, None -> failwith "Fs.mount: no valid checkpoint"
+  in
+  t.cp_slot <- (match (cp0, cp1) with
+    | Some a, Some b -> if a.Superblock.serial >= b.Superblock.serial then 1 else 0
+    | Some _, None -> 1
+    | _ -> 0);
+  t.serial <- cp.Superblock.serial;
+  t.tvol <- cp.Superblock.tvol;
+  t.tseg_in_vol <- cp.Superblock.tseg_in_vol;
+  (* load the ifile inode, then the tables it stores *)
+  let iblock = device.Dev.read ~blk:cp.Superblock.ifile_inode_addr ~count:1 in
+  let ifile =
+    match Inode.find_in_block iblock ~inum:ifile_inum with
+    | Some ino -> ino
+    | None -> failwith "Fs.mount: ifile inode not found"
+  in
+  Hashtbl.replace t.itable ifile_inum ifile;
+  Imap.alloc_specific t.inode_map ifile_inum;
+  let bs = prm.block_size in
+  for idx = 0 to su_blocks t - 1 do
+    match get_block t ifile (Bkey.Data idx) with
+    | Some b -> Segusage.load_block t.seg_usage ~block_size:bs idx b
+    | None -> failwith "Fs.mount: ifile hole in segment usage table"
+  done;
+  (* the imap load overwrites the placeholder alloc of the ifile inum *)
+  for idx = 0 to im_blocks t - 1 do
+    match get_block t ifile (Bkey.Data (su_blocks t + idx)) with
+    | Some b -> Imap.load_block t.inode_map ~block_size:bs idx b
+    | None -> failwith "Fs.mount: ifile hole in inode map"
+  done;
+  Segusage.clear_dirty t.seg_usage;
+  Imap.clear_dirty t.inode_map;
+  t.cur_seg <- cp.Superblock.cur_seg;
+  t.cur_off <- cp.Superblock.cur_off;
+  t.next_seg <- cp.Superblock.next_seg;
+  roll_forward t cp;
+  t
+
+let drop_caches t =
+  flush t;
+  Bcache.invalidate_clean t.cache;
+  let doomed =
+    Hashtbl.fold
+      (fun inum _ acc -> if inum = ifile_inum || inum = tseg_inum then acc else inum :: acc)
+      t.itable []
+  in
+  List.iter (Hashtbl.remove t.itable) doomed
+
+(* ---------- Invariant audit ---------- *)
+
+let check t =
+  let problems = ref [] in
+  let complain fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let counted = ref 0 in
+  Segusage.iter t.seg_usage (fun seg e ->
+      if e.state = Segusage.Clean then incr counted;
+      if e.live_bytes > Param.seg_bytes t.prm then
+        complain "segment %d live bytes %d exceed capacity" seg e.live_bytes;
+      if e.state = Segusage.Clean && e.live_bytes <> 0 then
+        complain "clean segment %d has %d live bytes" seg e.live_bytes);
+  if !counted <> nclean t then
+    complain "clean count drifted: counted %d tracked %d" !counted (nclean t);
+  if t.cur_off > t.prm.seg_blocks then complain "cur_off %d beyond segment" t.cur_off;
+  if (Segusage.get t.seg_usage t.cur_seg).state <> Segusage.Active then
+    complain "current segment %d not active" t.cur_seg;
+  (match (Segusage.get t.seg_usage t.next_seg).state with
+  | Segusage.Clean -> ()
+  | st ->
+      complain "reserved next segment %d is %s" t.next_seg
+        (Format.asprintf "%a" Segusage.pp_state st));
+  (try ignore (get_inode t root_inum)
+   with _ -> complain "root inode unreadable");
+  List.rev !problems

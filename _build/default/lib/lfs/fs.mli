@@ -1,0 +1,176 @@
+(** Core log-structured file system: the segmented log, the segment
+    writer, block mapping through inodes and indirect blocks, space
+    accounting, checkpoints and roll-forward recovery.
+
+    Higher layers build on the exposed primitives: {!File} and {!Dir}
+    provide the POSIX-ish operations, {!Cleaner} reclaims segments, and
+    the HighLight library grafts on tertiary storage through the
+    {!hooks} (accounting for blocks that live outside the disk's
+    segments) and through a {!Dev.t} that routes tertiary addresses to
+    its segment cache. *)
+
+type t
+
+exception No_space
+(** Raised before any mutation when the log has too few clean segments
+    to absorb the pending flush; run the cleaner and retry. *)
+
+(** HighLight integration points. *)
+type hooks = {
+  is_foreign : int -> bool;
+      (** True for addresses outside the disk's log segments (tertiary). *)
+  account_foreign : addr:int -> int -> unit;
+      (** Live-bytes delta for a foreign block (routed to the tsegfile). *)
+  pre_checkpoint : t -> unit;
+      (** Runs at the start of every checkpoint, while the log can still
+          absorb writes (HighLight serializes the tsegfile here). *)
+  reclaim : unit -> bool;
+      (** Called when the log is out of clean segments before giving up:
+          return true after freeing at least one (HighLight ejects a
+          read-only cache line). *)
+}
+
+val no_hooks : hooks
+
+(** {1 Lifecycle} *)
+
+val mkfs :
+  Sim.Engine.t -> Param.t -> Dev.t -> ?tertiary:Superblock.tertiary -> unit -> t
+(** Formats the device and returns a mounted file system with an empty
+    root directory. The initial state is checkpointed. *)
+
+val mount :
+  Sim.Engine.t -> ?cpu:Param.cpu -> ?bcache_blocks:int -> Dev.t -> t
+(** Reads the superblock, loads the newest valid checkpoint and rolls
+    the log forward to the last intact partial segment. *)
+
+val set_hooks : t -> hooks -> unit
+
+val checkpoint : t -> unit
+(** Flushes everything and writes a checkpoint region; after this,
+    mount needs no roll-forward. *)
+
+val unmount : t -> unit
+(** [checkpoint] + drops volatile state. The [t] must not be used
+    afterwards. *)
+
+(** {1 Geometry and state access} *)
+
+val param : t -> Param.t
+val engine : t -> Sim.Engine.t
+val dev : t -> Dev.t
+val tertiary_config : t -> Superblock.tertiary option
+val imap : t -> Imap.t
+val seguse : t -> Segusage.t
+val bcache : t -> Bcache.t
+val cur_seg : t -> int
+val cur_off : t -> int
+val next_seg : t -> int
+val serial : t -> int64
+val now : t -> float
+
+val tvol : t -> int
+val tseg_in_vol : t -> int
+val set_tertiary_cursor : t -> tvol:int -> tseg_in_vol:int -> unit
+(** HighLight's tertiary allocation cursor, persisted in checkpoints. *)
+
+(** {1 Inodes} *)
+
+val get_inode : t -> int -> Inode.t
+(** Loads through the inode map; raises [Not_found] for free inums. *)
+
+val alloc_inode : t -> kind:Inode.kind -> Inode.t
+val mark_inode_dirty : t -> Inode.t -> unit
+val free_inode : t -> int -> unit
+(** Releases the inum (blocks must already be freed — see
+    {!File.free_blocks}). *)
+
+val touch_atime : t -> int -> unit
+
+(** {1 Block access} *)
+
+val lookup_addr : t -> Inode.t -> Bkey.t -> int
+(** Current address of a block, walking indirect blocks as needed;
+    -1 for holes. *)
+
+val get_block : t -> Inode.t -> Bkey.t -> Bytes.t option
+(** Block content through the buffer cache; [None] for a hole. *)
+
+val get_block_for_write : t -> Inode.t -> Bkey.t -> Bytes.t
+(** Like {!get_block} but materializes holes and marks the block dirty.
+    The caller mutates the returned bytes in place. *)
+
+val put_block : t -> Inode.t -> Bkey.t -> Bytes.t -> unit
+(** Replaces a block's content wholesale (it becomes dirty). *)
+
+val drop_block : t -> Inode.t -> Bkey.t -> unit
+val zap_pointer : t -> Inode.t -> Bkey.t -> unit
+(** Frees one block: accounts its space away and clears its parent
+    pointer (truncate path). *)
+
+val repoint : t -> Inode.t -> Bkey.t -> int -> unit
+(** Atomically moves a block's identity to a new address: updates the
+    parent pointer, re-accounts live bytes, and refreshes the cache
+    entry's address. Refuses dirty blocks. This is the kernel half of
+    [lfs_migratev]. *)
+
+val account : t -> addr:int -> int -> unit
+(** Live-bytes delta for any address (disk segment or foreign). *)
+
+(** {1 The log} *)
+
+val flush : t -> unit
+(** Writes all dirty blocks and inodes to the log in level order
+    (data, then indirect blocks, then inodes). May raise {!No_space}. *)
+
+val maybe_flush : t -> unit
+(** Flushes when about a segment's worth of dirty data has gathered. *)
+
+val alloc_clean_segment : t -> for_cache:bool -> int option
+(** Takes a clean segment out of the allocation pool, leaving it in
+    [Cached] state. With [for_cache:true] (demand-fetch cache lines) it
+    refuses to dip into the cleaner's reserve; with [for_cache:false]
+    (migration staging) it digs nearly to the bottom, because staging is
+    how a full disk frees itself. *)
+
+val release_segment : t -> int -> unit
+(** Returns a segment to the clean pool. *)
+
+val grow : t -> added_segs:int -> ?new_dev:Dev.t -> unit -> unit
+(** On-line storage addition (paper §6.4): appends [added_segs] fresh
+    log segments (optionally switching to a larger device, e.g. a
+    concatenation including the new disk), extends the ifile's segment
+    usage table, rewrites the superblock, and checkpoints. In HighLight
+    the new segments claim part of the address-space dead zone — use
+    {!Highlight.Hl.grow_disk}, which also adjusts the address map. *)
+
+val set_cache_floor : t -> int -> unit
+(** Restricts {!alloc_clean_segment} to segments at or above the given
+    index — e.g. to place HighLight's staging/cache lines on a separate
+    spindle of a concatenated disk farm (the paper's Table 6 staging
+    variants). *)
+
+val set_cleaning : t -> bool -> unit
+(** While true, flushes may consume the reserve (cleaner privilege). *)
+
+val charge_cpu : t -> float -> unit
+val charge_copy : t -> int -> unit
+(** CPU-time charges from the {!Param.cpu} model. *)
+
+(** {1 Introspection} *)
+
+val nclean : t -> int
+val segments_written : t -> int
+val partials_written : t -> int
+val iter_files : t -> (int -> Imap.entry -> unit) -> unit
+(** All allocated inums including the reserved ones. *)
+
+val drop_caches : t -> unit
+(** Flushes, then empties the buffer cache and the in-core inode table
+    (the reserved ifile/tsegfile inodes stay pinned) — the state of a
+    newly mounted file system, as the paper's access-delay experiment
+    requires. Callers must re-resolve any [Inode.t] they hold. *)
+
+val check : t -> string list
+(** Cheap invariant audit (testing): returns human-readable violations,
+    empty when consistent. *)

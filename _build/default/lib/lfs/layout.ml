@@ -1,0 +1,16 @@
+let superblock_addr = 0
+
+let checkpoint_addr slot =
+  if slot <> 0 && slot <> 1 then invalid_arg "Layout.checkpoint_addr";
+  1 + slot
+
+let seg_base (p : Param.t) s = (s + 1) * p.seg_blocks
+
+let seg_of_addr (p : Param.t) addr =
+  if addr < p.seg_blocks then None
+  else
+    let s = (addr / p.seg_blocks) - 1 in
+    if s >= p.nsegs then None else Some s
+
+let off_in_seg (p : Param.t) addr = addr mod p.seg_blocks
+let disk_blocks (p : Param.t) = (p.nsegs + 1) * p.seg_blocks

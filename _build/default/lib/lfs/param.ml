@@ -1,0 +1,50 @@
+type cpu = { syscall : float; per_block : float; copy_rate : float }
+
+type t = {
+  block_size : int;
+  seg_blocks : int;
+  nsegs : int;
+  max_inodes : int;
+  bcache_blocks : int;
+  clean_reserve : int;
+  cpu : cpu;
+}
+
+let cpu_1993 =
+  { syscall = 0.0008; per_block = 0.0018; copy_rate = 12.0 *. 1024.0 *. 1024.0 }
+
+let cpu_free = { syscall = 0.0; per_block = 0.0; copy_rate = infinity }
+
+let default ~nsegs =
+  {
+    block_size = 4096;
+    seg_blocks = 256;
+    nsegs;
+    max_inodes = 65536;
+    bcache_blocks = 800 (* 3.2 MB *);
+    clean_reserve = 4;
+    cpu = cpu_1993;
+  }
+
+let for_tests ?(seg_blocks = 16) ?(nsegs = 32) () =
+  {
+    block_size = 4096;
+    seg_blocks;
+    nsegs;
+    max_inodes = 1024;
+    bcache_blocks = 128;
+    clean_reserve = 2;
+    cpu = cpu_free;
+  }
+
+let seg_bytes t = t.seg_blocks * t.block_size
+let data_blocks_per_seg t = t.seg_blocks - 1
+
+let validate t =
+  if t.block_size < 512 || t.block_size land (t.block_size - 1) <> 0 then
+    invalid_arg "Param: block_size must be a power of two >= 512";
+  if t.seg_blocks < 4 then invalid_arg "Param: segments need at least 4 blocks";
+  if t.nsegs < 4 then invalid_arg "Param: need at least 4 segments";
+  if t.max_inodes < 8 then invalid_arg "Param: max_inodes too small";
+  if t.clean_reserve < 1 || t.clean_reserve >= t.nsegs / 2 then
+    invalid_arg "Param: clean_reserve out of range"

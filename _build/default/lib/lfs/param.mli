@@ -1,0 +1,48 @@
+(** File-system geometry and host-CPU cost model.
+
+    Geometry matches the paper: 4 KB blocks (so 32-bit block addresses
+    cover 16 TB), 1 MB segments, and a 4 KB partial-segment summary
+    block (HighLight's enlarged summary; the base 4.4BSD LFS used 512
+    bytes — we use one size for both, as HighLight does).
+
+    The CPU model charges the virtual clock for work the 1993 host
+    (an HP 9000/370) did per operation: system-call entry, per-block
+    file-system bookkeeping, and memory copies such as LFS's segment
+    staging copy — the cost the paper blames for LFS losing to FFS on
+    sequential writes. *)
+
+type cpu = {
+  syscall : float;  (** per read()/write() entry, s *)
+  per_block : float;  (** per file block handled, s *)
+  copy_rate : float;  (** memory copy bandwidth, bytes/s *)
+}
+
+type t = {
+  block_size : int;
+  seg_blocks : int;  (** blocks per segment, including the summary block *)
+  nsegs : int;  (** on-disk segments, excluding the superblock segment *)
+  max_inodes : int;
+  bcache_blocks : int;  (** buffer-cache capacity in blocks *)
+  clean_reserve : int;  (** segments the writer may not consume, kept for the cleaner *)
+  cpu : cpu;
+}
+
+val cpu_1993 : cpu
+(** Calibrated to the paper's HP 9000/370 measurements. *)
+
+val cpu_free : cpu
+(** Zero-cost CPU, for tests that only exercise logic. *)
+
+val default : nsegs:int -> t
+(** 4 KB blocks, 256-block segments, 3.2 MB buffer cache (the paper's
+    test machine), 1993 CPU costs. *)
+
+val for_tests : ?seg_blocks:int -> ?nsegs:int -> unit -> t
+(** Small geometry and free CPU for unit tests. *)
+
+val seg_bytes : t -> int
+val data_blocks_per_seg : t -> int
+(** Blocks per segment available for data (excludes the summary block). *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on inconsistent geometry. *)

@@ -1,0 +1,154 @@
+open Util
+
+type state = Clean | Dirty | Active | Cached
+
+type entry = {
+  mutable state : state;
+  mutable live_bytes : int;
+  mutable lastmod : float;
+  mutable avail_bytes : int;
+  mutable cache_tag : int;
+}
+
+type t = {
+  mutable entries : entry array;
+  dirty : (int, unit) Hashtbl.t;  (* entry index *)
+  mutable clean_count : int;
+}
+
+let entry_bytes = 32
+let entries_per_block ~block_size = block_size / entry_bytes
+let nblocks ~nsegs ~block_size =
+  (nsegs + entries_per_block ~block_size - 1) / entries_per_block ~block_size
+
+let create ~nsegs ~seg_bytes =
+  {
+    entries =
+      Array.init nsegs (fun _ ->
+          { state = Clean; live_bytes = 0; lastmod = 0.0; avail_bytes = seg_bytes; cache_tag = -1 });
+    dirty = Hashtbl.create 16;
+    clean_count = nsegs;
+  }
+
+let nsegs t = Array.length t.entries
+
+let grow t ~by ~seg_bytes =
+  if by <= 0 then invalid_arg "Segusage.grow";
+  let fresh =
+    Array.init by (fun _ ->
+        { state = Clean; live_bytes = 0; lastmod = 0.0; avail_bytes = seg_bytes; cache_tag = -1 })
+  in
+  let old = Array.length t.entries in
+  t.entries <- Array.append t.entries fresh;
+  t.clean_count <- t.clean_count + by;
+  for seg = old to old + by - 1 do
+    Hashtbl.replace t.dirty seg ()
+  done
+
+let get t seg =
+  if seg < 0 || seg >= Array.length t.entries then invalid_arg "Segusage.get: bad segment";
+  t.entries.(seg)
+
+let touch t seg = Hashtbl.replace t.dirty seg ()
+
+let set_state t seg state =
+  let e = get t seg in
+  if e.state = Clean && state <> Clean then t.clean_count <- t.clean_count - 1
+  else if e.state <> Clean && state = Clean then t.clean_count <- t.clean_count + 1;
+  e.state <- state;
+  if state = Clean then begin
+    e.live_bytes <- 0;
+    e.cache_tag <- -1
+  end;
+  touch t seg
+
+let add_live t seg delta =
+  let e = get t seg in
+  e.live_bytes <- max 0 (e.live_bytes + delta);
+  touch t seg
+
+let set_lastmod t seg v =
+  (get t seg).lastmod <- v;
+  touch t seg
+
+let set_cache_tag t seg v =
+  (get t seg).cache_tag <- v;
+  touch t seg
+
+let nclean t = t.clean_count
+let live_total t = Array.fold_left (fun acc e -> acc + e.live_bytes) 0 t.entries
+
+let next_clean t ~after =
+  let n = Array.length t.entries in
+  let rec go i steps =
+    if steps >= n then None
+    else
+      let i = i mod n in
+      if t.entries.(i).state = Clean then Some i else go (i + 1) (steps + 1)
+  in
+  go (after + 1) 0
+
+let iter t f = Array.iteri f t.entries
+
+let state_code = function Clean -> 0 | Dirty -> 1 | Active -> 2 | Cached -> 3
+
+let state_of_code = function
+  | 0 -> Clean
+  | 1 -> Dirty
+  | 2 -> Active
+  | 3 -> Cached
+  | c -> invalid_arg (Printf.sprintf "Segusage: bad state code %d" c)
+
+let serialize_block t ~block_size idx =
+  let epb = entries_per_block ~block_size in
+  let b = Bytes.make block_size '\000' in
+  let base = idx * epb in
+  for i = 0 to epb - 1 do
+    let seg = base + i in
+    if seg < Array.length t.entries then begin
+      let e = t.entries.(seg) in
+      let off = i * entry_bytes in
+      Bytesx.set_u16 b off (state_code e.state);
+      Bytesx.set_u32 b (off + 4) e.live_bytes;
+      Bytesx.set_u64 b (off + 8) (Int64.bits_of_float e.lastmod);
+      Bytesx.set_u32 b (off + 16) e.avail_bytes;
+      Bytesx.set_i32 b (off + 20) e.cache_tag
+    end
+  done;
+  b
+
+let load_block t ~block_size idx b =
+  let epb = entries_per_block ~block_size in
+  let base = idx * epb in
+  for i = 0 to epb - 1 do
+    let seg = base + i in
+    if seg < Array.length t.entries then begin
+      let e = t.entries.(seg) in
+      let off = i * entry_bytes in
+      let new_state = state_of_code (Bytesx.get_u16 b off) in
+      if e.state = Clean && new_state <> Clean then t.clean_count <- t.clean_count - 1
+      else if e.state <> Clean && new_state = Clean then t.clean_count <- t.clean_count + 1;
+      e.state <- new_state;
+      e.live_bytes <- Bytesx.get_u32 b (off + 4);
+      e.lastmod <- Int64.float_of_bits (Bytesx.get_u64 b (off + 8));
+      e.avail_bytes <- Bytesx.get_u32 b (off + 16);
+      e.cache_tag <- Bytesx.get_i32 b (off + 20)
+    end
+  done
+
+let dirty_blocks t ~block_size =
+  let epb = entries_per_block ~block_size in
+  let blocks = Hashtbl.create 8 in
+  Hashtbl.iter (fun seg () -> Hashtbl.replace blocks (seg / epb) ()) t.dirty;
+  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) blocks [])
+
+let mark_all_dirty t =
+  for seg = 0 to Array.length t.entries - 1 do
+    touch t seg
+  done
+
+let clear_dirty t = Hashtbl.reset t.dirty
+
+let pp_state fmt s =
+  Format.pp_print_string fmt
+    (match s with Clean -> "clean" | Dirty -> "dirty" | Active -> "active" | Cached -> "cached")

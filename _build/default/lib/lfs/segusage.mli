@@ -1,0 +1,57 @@
+(** The segment usage table: state, live bytes, last-modified time and —
+    HighLight's additions — available bytes (for media of uncertain
+    capacity) and a cache tag linking a disk segment to the tertiary
+    segment it caches (paper §6.4). One instance describes the disk
+    segments (stored in the ifile); a second instance with the same
+    format describes tertiary segments (the tsegfile). *)
+
+type state =
+  | Clean  (** empty, available to the log *)
+  | Dirty  (** contains live data *)
+  | Active  (** the log's current tail *)
+  | Cached  (** disk segment holding a read-only copy of a tertiary segment *)
+
+type entry = {
+  mutable state : state;
+  mutable live_bytes : int;
+  mutable lastmod : float;
+  mutable avail_bytes : int;
+  mutable cache_tag : int;  (** tertiary segment cached here, or -1 *)
+}
+
+type t
+
+val create : nsegs:int -> seg_bytes:int -> t
+val nsegs : t -> int
+
+val grow : t -> by:int -> seg_bytes:int -> unit
+(** Appends clean entries (on-line storage addition, paper §6.4). *)
+
+val get : t -> int -> entry
+
+val set_state : t -> int -> state -> unit
+val add_live : t -> int -> int -> unit
+(** Adjusts live bytes (may be negative); clamps at 0 and dirties. *)
+
+val set_lastmod : t -> int -> float -> unit
+val set_cache_tag : t -> int -> int -> unit
+
+val nclean : t -> int
+val live_total : t -> int
+
+val next_clean : t -> after:int -> int option
+(** Round-robin scan for the next clean segment, or [None]. *)
+
+val iter : t -> (int -> entry -> unit) -> unit
+
+(** Serialization to ifile/tsegfile blocks (32 bytes per entry). *)
+
+val entries_per_block : block_size:int -> int
+val nblocks : nsegs:int -> block_size:int -> int
+val serialize_block : t -> block_size:int -> int -> Bytes.t
+val load_block : t -> block_size:int -> int -> Bytes.t -> unit
+val dirty_blocks : t -> block_size:int -> int list
+val mark_all_dirty : t -> unit
+val clear_dirty : t -> unit
+
+val pp_state : Format.formatter -> state -> unit

@@ -1,0 +1,111 @@
+open Util
+
+type tertiary = {
+  addr_space_blocks : int;
+  nvolumes : int;
+  segs_per_volume : int;
+  cache_segs : int;
+}
+
+type t = {
+  block_size : int;
+  seg_blocks : int;
+  nsegs : int;
+  max_inodes : int;
+  tertiary : tertiary option;
+}
+
+let sb_magic = 0x484c5342 (* "HLSB" *)
+let cp_magic = 0x484c4350 (* "HLCP" *)
+
+let serialize ~block_size t =
+  let b = Bytes.make block_size '\000' in
+  Bytesx.set_u32 b 4 sb_magic;
+  Bytesx.set_u32 b 8 t.block_size;
+  Bytesx.set_u32 b 12 t.seg_blocks;
+  Bytesx.set_u32 b 16 t.nsegs;
+  Bytesx.set_u32 b 20 t.max_inodes;
+  (match t.tertiary with
+  | None -> Bytesx.set_u16 b 24 0
+  | Some tc ->
+      Bytesx.set_u16 b 24 1;
+      Bytesx.set_u64 b 26 (Int64.of_int tc.addr_space_blocks);
+      Bytesx.set_u32 b 34 tc.nvolumes;
+      Bytesx.set_u32 b 38 tc.segs_per_volume;
+      Bytesx.set_u32 b 42 tc.cache_segs);
+  Bytesx.set_u32 b 0 0;
+  Bytesx.set_u32 b 0 (Crc32.bytes b);
+  b
+
+let deserialize b =
+  let recorded = Bytesx.get_u32 b 0 in
+  Bytesx.set_u32 b 0 0;
+  let actual = Crc32.bytes b in
+  Bytesx.set_u32 b 0 recorded;
+  if Bytesx.get_u32 b 4 <> sb_magic then Error "superblock: bad magic"
+  else if actual <> recorded then Error "superblock: bad checksum"
+  else
+    let tertiary =
+      if Bytesx.get_u16 b 24 = 1 then
+        Some
+          {
+            addr_space_blocks = Int64.to_int (Bytesx.get_u64 b 26);
+            nvolumes = Bytesx.get_u32 b 34;
+            segs_per_volume = Bytesx.get_u32 b 38;
+            cache_segs = Bytesx.get_u32 b 42;
+          }
+      else None
+    in
+    Ok
+      {
+        block_size = Bytesx.get_u32 b 8;
+        seg_blocks = Bytesx.get_u32 b 12;
+        nsegs = Bytesx.get_u32 b 16;
+        max_inodes = Bytesx.get_u32 b 20;
+        tertiary;
+      }
+
+type checkpoint = {
+  serial : int64;
+  timestamp : float;
+  ifile_inode_addr : int;
+  cur_seg : int;
+  cur_off : int;
+  next_seg : int;
+  tvol : int;
+  tseg_in_vol : int;
+}
+
+let serialize_checkpoint ~block_size cp =
+  let b = Bytes.make block_size '\000' in
+  Bytesx.set_u32 b 4 cp_magic;
+  Bytesx.set_u64 b 8 cp.serial;
+  Bytesx.set_u64 b 16 (Int64.bits_of_float cp.timestamp);
+  Bytesx.set_i32 b 24 cp.ifile_inode_addr;
+  Bytesx.set_i32 b 28 cp.cur_seg;
+  Bytesx.set_i32 b 32 cp.cur_off;
+  Bytesx.set_i32 b 36 cp.next_seg;
+  Bytesx.set_i32 b 40 cp.tvol;
+  Bytesx.set_i32 b 44 cp.tseg_in_vol;
+  Bytesx.set_u32 b 0 0;
+  Bytesx.set_u32 b 0 (Crc32.bytes b);
+  b
+
+let deserialize_checkpoint b =
+  let recorded = Bytesx.get_u32 b 0 in
+  Bytesx.set_u32 b 0 0;
+  let actual = Crc32.bytes b in
+  Bytesx.set_u32 b 0 recorded;
+  if Bytesx.get_u32 b 4 <> cp_magic || actual <> recorded then None
+  else
+    Some
+      {
+        serial = Bytesx.get_u64 b 8;
+        timestamp = Int64.float_of_bits (Bytesx.get_u64 b 16);
+        ifile_inode_addr = Bytesx.get_i32 b 24;
+        cur_seg = Bytesx.get_i32 b 28;
+        cur_off = Bytesx.get_i32 b 32;
+        next_seg = Bytesx.get_i32 b 36;
+        tvol = Bytesx.get_i32 b 40;
+        tseg_in_vol = Bytesx.get_i32 b 44;
+      }

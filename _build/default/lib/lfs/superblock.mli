@@ -1,0 +1,38 @@
+(** Superblock and checkpoint regions. The superblock records immutable
+    geometry (including HighLight's tertiary configuration when
+    present); the two checkpoint slots alternate, each naming the ifile
+    inode's address and the log tail so recovery can load the maps and
+    roll forward (paper §3). *)
+
+type tertiary = {
+  addr_space_blocks : int;  (** total unified address space, disks + dead zone + tertiary *)
+  nvolumes : int;
+  segs_per_volume : int;
+  cache_segs : int;  (** static cap on disk segments used as cache lines *)
+}
+
+type t = {
+  block_size : int;
+  seg_blocks : int;
+  nsegs : int;
+  max_inodes : int;
+  tertiary : tertiary option;  (** present for HighLight file systems *)
+}
+
+val serialize : block_size:int -> t -> Bytes.t
+val deserialize : Bytes.t -> (t, string) result
+
+type checkpoint = {
+  serial : int64;  (** last partial-segment serial covered *)
+  timestamp : float;
+  ifile_inode_addr : int;
+  cur_seg : int;  (** active segment at checkpoint time *)
+  cur_off : int;  (** next free block within it *)
+  next_seg : int;  (** reserved successor segment *)
+  tvol : int;  (** HighLight: tertiary volume being filled *)
+  tseg_in_vol : int;  (** HighLight: next segment slot on that volume *)
+}
+
+val serialize_checkpoint : block_size:int -> checkpoint -> Bytes.t
+val deserialize_checkpoint : Bytes.t -> checkpoint option
+(** [None] if the block is not a valid checkpoint (bad magic/checksum). *)

@@ -1,0 +1,1 @@
+lib/policy/automigrate.ml: Addr_space Highlight Lfs List Migrator Namespace Sim State Stp

@@ -1,0 +1,1 @@
+lib/policy/automigrate.mli: Highlight Lfs Namespace Stp

@@ -1,0 +1,1 @@
+lib/policy/block_range.ml: Array Float Hashtbl Highlight Lfs List Option Sim

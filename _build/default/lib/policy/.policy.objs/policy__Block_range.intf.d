@@ -1,0 +1,1 @@
+lib/policy/block_range.mli: Highlight Lfs

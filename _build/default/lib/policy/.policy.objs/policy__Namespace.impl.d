@@ -1,0 +1,1 @@
+lib/policy/namespace.ml: Dir Float Fs Imap Inode Lfs List

@@ -1,0 +1,1 @@
+lib/policy/rearrange.ml: Footprint Fun Hashtbl Highlight Lfs List Migrator Option Sim State Tertiary_cleaner

@@ -1,0 +1,1 @@
+lib/policy/stp.ml: Float Fs Imap Inode Lfs List

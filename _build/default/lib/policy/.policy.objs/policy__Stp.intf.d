@@ -1,0 +1,1 @@
+lib/policy/stp.mli: Lfs

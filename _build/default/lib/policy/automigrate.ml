@@ -1,0 +1,50 @@
+open Highlight
+
+type policy_fn = Lfs.Fs.t -> target_bytes:int -> int list
+
+let stp_policy cfg fs ~target_bytes = Stp.select fs cfg ~target_bytes
+
+(* Only files with at least one disk-resident block are worth handing to
+   the migrator again. *)
+let disk_resident st inum =
+  let fs = State.fs st in
+  match Lfs.Fs.get_inode fs inum with
+  | exception Not_found -> false
+  | ino ->
+      let found = ref false in
+      Lfs.File.iter_assigned_blocks fs ino (fun _ addr ->
+          if Addr_space.is_disk st.State.aspace addr then found := true);
+      !found
+
+let namespace_policy ranking ~root fs ~target_bytes =
+  Namespace.select fs ranking ~root ~target_bytes
+  |> List.concat_map (fun u -> u.Namespace.inums)
+
+let run_once st ~policy ~low_water ~high_water =
+  let fs = State.fs st in
+  if Lfs.Fs.nclean fs >= low_water then 0
+  else begin
+    let seg_bytes = Lfs.Param.seg_bytes (Lfs.Fs.param fs) in
+    let deficit_segs = max 1 (high_water - Lfs.Fs.nclean fs) in
+    let inums =
+      List.filter (disk_resident st) (policy fs ~target_bytes:(deficit_segs * seg_bytes))
+    in
+    if inums <> [] then ignore (Migrator.migrate_files st inums);
+    (* reclaim the emptied disk segments *)
+    ignore (Lfs.Cleaner.clean_until fs ~target_clean:high_water ());
+    List.length inums
+  end
+
+let spawn st ?(period = 10.0) ~policy ~low_water ~high_water () =
+  let stopped = ref false in
+  Sim.Engine.spawn st.State.engine ~name:"automigrate" (fun () ->
+      let rec loop () =
+        Sim.Engine.delay period;
+        if not !stopped then begin
+          (try ignore (run_once st ~policy ~low_water ~high_water)
+           with Lfs.Fs.No_space | State.Tertiary_full -> ());
+          loop ()
+        end
+      in
+      loop ());
+  fun () -> stopped := true

@@ -1,0 +1,74 @@
+open Lfs
+
+type unit_info = {
+  root_path : string;
+  inums : int list;
+  total_bytes : int;
+  min_idle : float;
+  newest_mtime : float;
+}
+
+let scan_unit fs path ino =
+  let now = Fs.now fs in
+  let inums = ref [ ino.Inode.inum ] in
+  let bytes = ref ino.Inode.size in
+  let min_idle = ref (now -. (Imap.get (Fs.imap fs) ino.Inode.inum).Imap.atime) in
+  let newest_mtime = ref ino.Inode.mtime in
+  if ino.Inode.kind = Inode.Dir then
+    Dir.walk fs path (fun _ child ->
+        inums := child.Inode.inum :: !inums;
+        bytes := !bytes + child.Inode.size;
+        let idle = now -. (Imap.get (Fs.imap fs) child.Inode.inum).Imap.atime in
+        if idle < !min_idle then min_idle := idle;
+        if child.Inode.mtime > !newest_mtime then newest_mtime := child.Inode.mtime);
+  {
+    root_path = path;
+    inums = List.rev !inums;
+    total_bytes = !bytes;
+    min_idle = !min_idle;
+    newest_mtime = !newest_mtime;
+  }
+
+let units_under fs root =
+  let dir = Dir.namei fs root in
+  List.filter_map
+    (fun (name, inum) ->
+      if name = "." || name = ".." then None
+      else
+        let path = if root = "/" then "/" ^ name else root ^ "/" ^ name in
+        match Fs.get_inode fs inum with
+        | exception Not_found -> None
+        | ino -> Some (scan_unit fs path ino))
+    (Dir.readdir fs dir)
+
+type ranking = {
+  time_exp : float;
+  size_exp : float;
+  min_idle : float;
+  stable_override : float;
+}
+
+let default_ranking =
+  { time_exp = 1.0; size_exp = 1.0; min_idle = 60.0; stable_override = 600.0 }
+
+let eligible fs (r : ranking) (u : unit_info) =
+  let now = Fs.now fs in
+  u.min_idle >= r.min_idle
+  (* secondary criterion: a popular file that has not been *modified*
+     recently does not protect an otherwise dormant unit *)
+  || now -. u.newest_mtime >= r.stable_override
+
+let score (r : ranking) (u : unit_info) =
+  Float.pow (Float.max 1.0 u.min_idle) r.time_exp
+  *. Float.pow (float_of_int (max 1 u.total_bytes)) r.size_exp
+
+let select fs r ~root ~target_bytes =
+  let units = List.filter (eligible fs r) (units_under fs root) in
+  let ranked = List.sort (fun a b -> compare (score r b) (score r a)) units in
+  let rec take acc bytes = function
+    | [] -> List.rev acc
+    | u :: rest ->
+        if bytes >= target_bytes then List.rev acc
+        else take (u :: acc) (bytes + u.total_bytes) rest
+  in
+  take [] 0 ranked

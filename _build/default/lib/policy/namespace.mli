@@ -1,0 +1,37 @@
+(** Namespace-locality migration units (paper §5.3): subtrees of the
+    naming hierarchy migrate together, ranked by a "unitsize"-time
+    product where the unit's access time is the *minimum* idle time over
+    its files. The secondary criterion lets units with one popular but
+    stable (unmodified) file migrate anyway, so dormant trees cannot
+    pollute the disk forever.
+
+    Traversal uses {!Lfs.Dir.walk}, which never perturbs access times —
+    the property the paper calls out as making a user-level
+    implementation possible. *)
+
+type unit_info = {
+  root_path : string;
+  inums : int list;  (** every file and directory in the unit *)
+  total_bytes : int;
+  min_idle : float;  (** idle time of the most recently accessed file *)
+  newest_mtime : float;
+}
+
+val units_under : Lfs.Fs.t -> string -> unit_info list
+(** One unit per immediate child of the given directory (a child file
+    forms a singleton unit; a child directory spans its whole subtree). *)
+
+type ranking = {
+  time_exp : float;
+  size_exp : float;
+  min_idle : float;
+  stable_override : float;
+      (** secondary criterion: if every file's mtime is older than this,
+          the unit is eligible even when recently *read* (§5.3) *)
+}
+
+val default_ranking : ranking
+
+val select :
+  Lfs.Fs.t -> ranking -> root:string -> target_bytes:int -> unit_info list
+(** Highest-scoring dormant units first, until the byte target is met. *)

@@ -1,0 +1,35 @@
+open Lfs
+
+type t = { time_exp : float; size_exp : float; min_idle : float }
+
+let default = { time_exp = 1.0; size_exp = 1.0; min_idle = 60.0 }
+
+let score t ~now ~atime ~size =
+  let idle = Float.max 0.0 (now -. atime) in
+  Float.pow idle t.time_exp *. Float.pow (float_of_int (max 1 size)) t.size_exp
+
+let rank fs t =
+  let now = Fs.now fs in
+  let out = ref [] in
+  Fs.iter_files fs (fun inum entry ->
+      if inum >= Imap.first_regular_inum then begin
+        match Fs.get_inode fs inum with
+        | exception Not_found -> ()
+        | ino ->
+            let idle = now -. entry.Imap.atime in
+            if idle >= t.min_idle && ino.Inode.size > 0 then
+              out := (inum, score t ~now ~atime:entry.Imap.atime ~size:ino.Inode.size) :: !out
+      end);
+  List.sort (fun (_, a) (_, b) -> compare b a) !out
+
+let select ?(eligible = fun _ -> true) fs t ~target_bytes =
+  let ranked = List.filter (fun (inum, _) -> eligible inum) (rank fs t) in
+  let rec take acc bytes = function
+    | [] -> List.rev acc
+    | (inum, _) :: rest ->
+        if bytes >= target_bytes then List.rev acc
+        else
+          let size = try (Fs.get_inode fs inum).Inode.size with Not_found -> 0 in
+          take (inum :: acc) (bytes + size) rest
+  in
+  take [] 0 ranked

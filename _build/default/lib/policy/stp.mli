@@ -1,0 +1,24 @@
+(** Space-time-product file ranking (paper §5.1). Candidate files are
+    ranked by [(now - atime)^time_exp * size^size_exp]; the classic
+    metric of Lawrie/Smith/Strange uses exponents of 1, which is what
+    HighLight's first migrator shipped with. Access times come from the
+    inode map, so ranking never touches the files themselves. *)
+
+type t = {
+  time_exp : float;
+  size_exp : float;
+  min_idle : float;  (** never pick files accessed more recently than this *)
+}
+
+val default : t
+(** Exponents of 1, 60-second minimum idle time. *)
+
+val score : t -> now:float -> atime:float -> size:int -> float
+
+val rank : Lfs.Fs.t -> t -> (int * float) list
+(** All migratable files (reserved inums excluded), best candidate
+    first, with scores. *)
+
+val select : ?eligible:(int -> bool) -> Lfs.Fs.t -> t -> target_bytes:int -> int list
+(** Greedy prefix of {!rank} whose cumulative size reaches the target.
+    [eligible] filters candidates first (e.g. "still disk-resident"). *)

@@ -1,0 +1,13 @@
+type t = { queue : (unit -> unit) Queue.t }
+
+let create () = { queue = Queue.create () }
+let wait t = Engine.suspend (fun wake -> Queue.add wake t.queue)
+
+let signal t = match Queue.take_opt t.queue with None -> () | Some wake -> wake ()
+
+let broadcast t =
+  let pending = Queue.copy t.queue in
+  Queue.clear t.queue;
+  Queue.iter (fun wake -> wake ()) pending
+
+let waiters t = Queue.length t.queue

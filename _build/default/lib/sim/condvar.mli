@@ -1,0 +1,16 @@
+(** Condition variables for simulator processes. There is no associated
+    mutex: processes are cooperatively scheduled, so state inspected
+    before [wait] cannot change until the process blocks. As with real
+    condition variables, waiters must re-check their predicate after
+    waking. *)
+
+type t
+
+val create : unit -> t
+val wait : t -> unit
+val signal : t -> unit
+
+val broadcast : t -> unit
+(** Wakes every current waiter. *)
+
+val waiters : t -> int

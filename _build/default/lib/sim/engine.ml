@@ -1,0 +1,87 @@
+open Util
+
+type event = { time : float; seq : int; action : unit -> unit }
+
+type t = {
+  mutable now : float;
+  events : event Heap.t;
+  mutable seq : int;
+  mutable blocked : int;
+}
+
+type _ Effect.t +=
+  | Delay : float -> unit Effect.t
+  | Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+
+let create () =
+  let cmp a b = if a.time = b.time then compare a.seq b.seq else compare a.time b.time in
+  { now = 0.0; events = Heap.create ~cmp; seq = 0; blocked = 0 }
+
+let now t = t.now
+
+let schedule t time action =
+  t.seq <- t.seq + 1;
+  Heap.push t.events { time; seq = t.seq; action }
+
+let delay d = Effect.perform (Delay (Float.max 0.0 d))
+let suspend register = Effect.perform (Suspend register)
+let yield () = delay 0.0
+
+(* Each spawned process runs under its own deep handler; resumptions are
+   scheduled as fresh events so a process always runs to its next
+   blocking point before any other process is entered. *)
+let spawn t ?name f =
+  ignore name;
+  let handler =
+    {
+      Effect.Deep.retc = (fun () -> ());
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Delay d ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  schedule t (t.now +. d) (fun () -> Effect.Deep.continue k ()))
+          | Suspend register ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  t.blocked <- t.blocked + 1;
+                  let fired = ref false in
+                  let wake () =
+                    if not !fired then begin
+                      fired := true;
+                      t.blocked <- t.blocked - 1;
+                      schedule t t.now (fun () -> Effect.Deep.continue k ())
+                    end
+                  in
+                  register wake)
+          | _ -> None);
+    }
+  in
+  schedule t t.now (fun () -> Effect.Deep.match_with f () handler)
+
+let run t =
+  let rec loop () =
+    match Heap.pop t.events with
+    | None -> ()
+    | Some ev ->
+        if ev.time > t.now then t.now <- ev.time;
+        ev.action ();
+        loop ()
+  in
+  loop ()
+
+let run_until t limit =
+  let rec loop () =
+    match Heap.peek t.events with
+    | Some ev when ev.time <= limit ->
+        ignore (Heap.pop t.events);
+        if ev.time > t.now then t.now <- ev.time;
+        ev.action ();
+        loop ()
+    | _ -> t.now <- Float.max t.now limit
+  in
+  loop ()
+
+let blocked_processes t = t.blocked

@@ -1,0 +1,52 @@
+(** Discrete-event simulation engine.
+
+    Simulator processes are coroutines implemented with effect handlers:
+    a process runs until it performs {!delay} or {!suspend}, at which
+    point control returns to the scheduler. Time is virtual (seconds as
+    [float]); it advances only between events, so a simulated 45-second
+    tape load costs no wall-clock time.
+
+    The engine replaces the kernel context of the original HighLight: the
+    cleaner, migrator, service and I/O processes of the paper each run as
+    one simulator process, and device models charge their service times
+    with {!delay}. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time in seconds. *)
+
+val spawn : t -> ?name:string -> (unit -> unit) -> unit
+(** Registers a process to start at the current virtual time. May be
+    called from inside or outside a running process. *)
+
+val delay : float -> unit
+(** Blocks the calling process for the given virtual duration. Must be
+    called from inside a process. Negative durations are clamped to 0. *)
+
+val suspend : ((unit -> unit) -> unit) -> unit
+(** [suspend register] parks the calling process and hands a wake-up
+    function to [register]. Calling the wake-up function schedules the
+    process to resume at the then-current virtual time; calling it more
+    than once is harmless. This is the primitive under condition
+    variables, resources and mailboxes. *)
+
+val yield : unit -> unit
+(** Re-schedules the calling process at the same virtual time, letting
+    other runnable processes proceed first. *)
+
+val run : t -> unit
+(** Executes events until none remain. Parked processes whose wake-up is
+    never called are abandoned (a deadlocked process does not block
+    [run]). *)
+
+val run_until : t -> float -> unit
+(** Executes events with timestamps [<= limit], then sets the clock to
+    [limit]. *)
+
+val blocked_processes : t -> int
+(** Number of processes that were suspended and have not yet resumed or
+    finished; nonzero after [run] indicates a lost wake-up or an
+    intentionally infinite server loop. *)

@@ -1,0 +1,17 @@
+type 'a t = { items : 'a Queue.t; arrival : Condvar.t }
+
+let create () = { items = Queue.create (); arrival = Condvar.create () }
+
+let send t x =
+  Queue.add x t.items;
+  Condvar.signal t.arrival
+
+let rec recv t =
+  match Queue.take_opt t.items with
+  | Some x -> x
+  | None ->
+      Condvar.wait t.arrival;
+      recv t
+
+let try_recv t = Queue.take_opt t.items
+let length t = Queue.length t.items

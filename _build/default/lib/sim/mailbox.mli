@@ -1,0 +1,14 @@
+(** Unbounded typed message queues between simulator processes — the
+    analogue of the ioctl/select channel between HighLight's kernel and
+    its user-level service and I/O processes. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val send : 'a t -> 'a -> unit
+
+val recv : 'a t -> 'a
+(** Blocks the calling process until a message is available. *)
+
+val try_recv : 'a t -> 'a option
+val length : 'a t -> int

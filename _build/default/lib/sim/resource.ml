@@ -1,0 +1,63 @@
+type t = {
+  engine : Engine.t;
+  label : string;
+  capacity : int;
+  mutable held : int;
+  waiting : (unit -> unit) Queue.t;
+  created_at : float;
+  mutable busy : float;
+  mutable busy_since : float;
+}
+
+let create engine ?(capacity = 1) label =
+  if capacity <= 0 then invalid_arg "Resource.create: capacity must be positive";
+  {
+    engine;
+    label;
+    capacity;
+    held = 0;
+    waiting = Queue.create ();
+    created_at = Engine.now engine;
+    busy = 0.0;
+    busy_since = 0.0;
+  }
+
+let name t = t.label
+
+let acquire t =
+  (* When the resource is exhausted, [release] hands the unit straight to
+     the head waiter: [held] never drops, so no third party can steal the
+     unit between the release and the waiter's resumption. *)
+  if t.held < t.capacity && Queue.is_empty t.waiting then begin
+    if t.held = 0 then t.busy_since <- Engine.now t.engine;
+    t.held <- t.held + 1
+  end
+  else Engine.suspend (fun wake -> Queue.add wake t.waiting)
+
+let release t =
+  if t.held <= 0 then invalid_arg "Resource.release: not held";
+  match Queue.take_opt t.waiting with
+  | Some wake -> wake ()
+  | None ->
+      t.held <- t.held - 1;
+      if t.held = 0 then t.busy <- t.busy +. (Engine.now t.engine -. t.busy_since)
+
+let with_resource t f =
+  acquire t;
+  match f () with
+  | v ->
+      release t;
+      v
+  | exception e ->
+      release t;
+      raise e
+
+let in_use t = t.held
+let queue_length t = Queue.length t.waiting
+
+let busy_time t =
+  if t.held > 0 then t.busy +. (Engine.now t.engine -. t.busy_since) else t.busy
+
+let utilization t =
+  let elapsed = Engine.now t.engine -. t.created_at in
+  if elapsed <= 0.0 then 0.0 else busy_time t /. elapsed

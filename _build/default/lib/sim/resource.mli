@@ -1,0 +1,27 @@
+(** Counted FIFO resources: a disk services one request at a time, a SCSI
+    bus one transfer, a jukebox has as many drive slots as drives. Also
+    tracks busy time so benches can report device utilisation. *)
+
+type t
+
+val create : Engine.t -> ?capacity:int -> string -> t
+(** [capacity] defaults to 1. *)
+
+val name : t -> string
+
+val acquire : t -> unit
+(** Blocks (FIFO) until a unit of the resource is available. *)
+
+val release : t -> unit
+
+val with_resource : t -> (unit -> 'a) -> 'a
+(** Acquire/release bracket; releases on exception too. *)
+
+val in_use : t -> int
+val queue_length : t -> int
+
+val busy_time : t -> float
+(** Total virtual time during which at least one unit was held. *)
+
+val utilization : t -> float
+(** [busy_time / elapsed-since-creation], in [0,1]. *)

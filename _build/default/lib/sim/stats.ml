@@ -1,0 +1,38 @@
+type t = {
+  label : string;
+  mutable n : int;
+  mutable sum : float;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable lo : float;
+  mutable hi : float;
+}
+
+let create label =
+  { label; n = 0; sum = 0.0; mean = 0.0; m2 = 0.0; lo = infinity; hi = neg_infinity }
+
+let name t = t.label
+
+let add t x =
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  let d = x -. t.mean in
+  t.mean <- t.mean +. (d /. float_of_int t.n);
+  t.m2 <- t.m2 +. (d *. (x -. t.mean));
+  if x < t.lo then t.lo <- x;
+  if x > t.hi then t.hi <- x
+
+let count t = t.n
+let total t = t.sum
+let mean t = t.mean
+let stddev t = if t.n < 2 then 0.0 else sqrt (t.m2 /. float_of_int (t.n - 1))
+let min_value t = t.lo
+let max_value t = t.hi
+
+let reset t =
+  t.n <- 0;
+  t.sum <- 0.0;
+  t.mean <- 0.0;
+  t.m2 <- 0.0;
+  t.lo <- infinity;
+  t.hi <- neg_infinity

@@ -1,0 +1,1 @@
+lib/util/bytesx.ml: Bytes Char Int32 String

@@ -1,0 +1,28 @@
+let get_u16 b off = Char.code (Bytes.get b off) lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+
+let set_u16 b off v =
+  Bytes.set b off (Char.chr (v land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 8) land 0xff))
+
+let get_u32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xffffffff
+let set_u32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
+let get_i32 b off = Int32.to_int (Bytes.get_int32_le b off)
+let set_i32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
+let get_u64 b off = Bytes.get_int64_le b off
+let set_u64 b off v = Bytes.set_int64_le b off v
+
+let get_string b ~pos ~len =
+  let s = Bytes.sub_string b pos len in
+  match String.index_opt s '\000' with
+  | None -> s
+  | Some i -> String.sub s 0 i
+
+let set_string b ~pos ~len s =
+  if String.length s > len then invalid_arg "Bytesx.set_string: too long";
+  Bytes.fill b pos len '\000';
+  Bytes.blit_string s 0 b pos (String.length s)
+
+let is_zero b =
+  let n = Bytes.length b in
+  let rec go i = i >= n || (Bytes.get b i = '\000' && go (i + 1)) in
+  go 0

@@ -1,0 +1,15 @@
+(** Binary min-heap with a user-supplied ordering; the simulator's event
+    queue and the cleaner's segment ranking both sit on this. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Removes and returns the minimum element. *)
+
+val peek : 'a t -> 'a option
+val clear : 'a t -> unit

@@ -1,0 +1,104 @@
+(* Classic doubly-linked list threaded through a hash table. [head] is the
+   most recently used end; [tail] the eviction end. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option;
+  mutable next : ('k, 'v) node option;
+}
+
+type ('k, 'v) t = {
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  cap : int;
+  on_evict : 'k -> 'v -> unit;
+  mutable head : ('k, 'v) node option;
+  mutable tail : ('k, 'v) node option;
+}
+
+let create ?(on_evict = fun _ _ -> ()) ~cap () =
+  if cap <= 0 then invalid_arg "Lru.create: cap must be positive";
+  { table = Hashtbl.create 64; cap; on_evict; head = None; tail = None }
+
+let length t = Hashtbl.length t.table
+let capacity t = t.cap
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let promote t node =
+  unlink t node;
+  push_front t node
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> None
+  | Some node ->
+      promote t node;
+      Some node.value
+
+let peek t k =
+  match Hashtbl.find_opt t.table k with None -> None | Some node -> Some node.value
+
+let remove t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> ()
+  | Some node ->
+      unlink t node;
+      Hashtbl.remove t.table k
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some node ->
+      unlink t node;
+      Hashtbl.remove t.table node.key;
+      t.on_evict node.key node.value
+
+let add t k v =
+  (match Hashtbl.find_opt t.table k with
+  | Some node ->
+      node.value <- v;
+      promote t node
+  | None ->
+      if Hashtbl.length t.table >= t.cap then evict_lru t;
+      let node = { key = k; value = v; prev = None; next = None } in
+      Hashtbl.replace t.table k node;
+      push_front t node);
+  ()
+
+let pop_lru t =
+  match t.tail with
+  | None -> None
+  | Some node ->
+      unlink t node;
+      Hashtbl.remove t.table node.key;
+      Some (node.key, node.value)
+
+let iter f t =
+  let rec go = function
+    | None -> ()
+    | Some node ->
+        let next = node.next in
+        f node.key node.value;
+        go next
+  in
+  go t.head
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None

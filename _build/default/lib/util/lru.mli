@@ -1,0 +1,31 @@
+(** A bounded map with least-recently-used eviction, used by the buffer
+    cache and by cache-management policies. O(1) find/add/remove. *)
+
+type ('k, 'v) t
+
+val create : ?on_evict:('k -> 'v -> unit) -> cap:int -> unit -> ('k, 'v) t
+(** [cap] is the maximum number of entries; adding beyond it evicts the
+    least recently used entry (calling [on_evict] if given). *)
+
+val length : ('k, 'v) t -> int
+val capacity : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Looks up and promotes the entry to most-recently-used. *)
+
+val peek : ('k, 'v) t -> 'k -> 'v option
+(** Looks up without promoting. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Inserts or replaces; the entry becomes most-recently-used. *)
+
+val remove : ('k, 'v) t -> 'k -> unit
+
+val pop_lru : ('k, 'v) t -> ('k * 'v) option
+(** Removes and returns the least-recently-used entry ([on_evict] is not
+    called). *)
+
+val iter : ('k -> 'v -> unit) -> ('k, 'v) t -> unit
+(** Iterates from most to least recently used. *)
+
+val clear : ('k, 'v) t -> unit

@@ -1,0 +1,58 @@
+type row = Cells of string list | Sep
+
+type t = { title : string; header : string list; mutable rows : row list }
+
+let create ~title ~header = { title; header; rows = [] }
+let add_row t cells = t.rows <- Cells cells :: t.rows
+let add_sep t = t.rows <- Sep :: t.rows
+
+let print t =
+  let rows = List.rev t.rows in
+  let ncols = List.length t.header in
+  let widths = Array.of_list (List.map String.length t.header) in
+  let note cells =
+    List.iteri
+      (fun i c -> if i < ncols then widths.(i) <- max widths.(i) (String.length c))
+      cells
+  in
+  List.iter (function Cells c -> note c | Sep -> ()) rows;
+  let pad i s = Printf.sprintf "%-*s" widths.(i) s in
+  let line cells =
+    let padded = List.mapi pad cells in
+    "| " ^ String.concat " | " padded ^ " |"
+  in
+  let sep =
+    "+"
+    ^ String.concat "+" (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths))
+    ^ "+"
+  in
+  print_newline ();
+  print_endline ("== " ^ t.title ^ " ==");
+  print_endline sep;
+  print_endline (line t.header);
+  print_endline sep;
+  List.iter
+    (function
+      | Cells c ->
+          let c =
+            if List.length c < ncols then c @ List.init (ncols - List.length c) (fun _ -> "")
+            else c
+          in
+          print_endline (line c)
+      | Sep -> print_endline sep)
+    rows;
+  print_endline sep
+
+let kb_s rate =
+  let kb = rate /. 1024.0 in
+  if kb >= 100.0 then Printf.sprintf "%.0fKB/s" kb
+  else if kb >= 10.0 then Printf.sprintf "%.1fKB/s" kb
+  else Printf.sprintf "%.2fKB/s" kb
+
+let seconds s =
+  if s >= 100.0 then Printf.sprintf "%.1f s" s
+  else if s >= 10.0 then Printf.sprintf "%.2f s" s
+  else Printf.sprintf "%.2f s" s
+
+let ratio ~measured ~paper =
+  if paper = 0.0 then "n/a" else Printf.sprintf "x%.2f" (measured /. paper)

@@ -1,0 +1,18 @@
+(** Fixed-width text tables for the benchmark harness, so each
+    reproduction prints in the same shape as the paper's tables. *)
+
+type t
+
+val create : title:string -> header:string list -> t
+val add_row : t -> string list -> unit
+val add_sep : t -> unit
+val print : t -> unit
+
+val kb_s : float -> string
+(** Renders a rate in bytes/second as "NNNKB/s" like the paper. *)
+
+val seconds : float -> string
+(** Renders seconds with paper-like precision, e.g. "12.8 s". *)
+
+val ratio : measured:float -> paper:float -> string
+(** "x0.97" style comparison column. *)

@@ -1,0 +1,1 @@
+lib/workload/large_object.ml: Bcache Bytes Char Dir Ffs File Fs Hashtbl Highlight Lfs Option Sim Util

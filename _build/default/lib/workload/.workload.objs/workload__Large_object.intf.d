@@ -1,0 +1,1 @@
+lib/workload/large_object.mli: Bytes Ffs Highlight Lfs Sim

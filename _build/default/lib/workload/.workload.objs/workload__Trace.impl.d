@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Array Bytes Char Hashtbl List Printf Sim Util

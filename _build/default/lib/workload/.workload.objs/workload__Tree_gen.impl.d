@@ -1,0 +1,1 @@
+lib/workload/tree_gen.ml: Bytes Char Dir File Inode Lfs List Printf Util

@@ -1,0 +1,1 @@
+lib/workload/tree_gen.mli: Lfs

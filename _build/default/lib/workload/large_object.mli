@@ -1,0 +1,48 @@
+(** The Stonebraker–Olson large-object benchmark (paper §7.1, Table 2):
+    a 51.2 MB file of 12,500 4 KB frames, exercised with sequential,
+    random and 80/20-locality reads and replacements. The buffer cache
+    is flushed before each phase, as in the paper.
+
+    The benchmark is written against an abstract file-system interface
+    so the identical workload drives FFS, base LFS, and HighLight in its
+    on-disk and in-cache configurations. *)
+
+type fsops = {
+  fs_name : string;
+  create : string -> unit;
+  write : string -> off:int -> Bytes.t -> unit;
+  read : string -> off:int -> len:int -> Bytes.t;
+  flush_caches : unit -> unit;
+  sync : unit -> unit;
+}
+
+val lfs_ops : Lfs.Fs.t -> fsops
+val ffs_ops : Ffs.t -> fsops
+val hl_ops : Highlight.Hl.t -> fsops
+
+type phase = {
+  phase_name : string;
+  elapsed : float;
+  bytes_moved : int;
+}
+
+val throughput : phase -> float
+(** bytes/second. *)
+
+val setup : Sim.Engine.t -> fsops -> ?frames:int -> ?frame_bytes:int -> string -> unit
+(** Creates and populates the object file. *)
+
+val run :
+  Sim.Engine.t ->
+  fsops ->
+  ?frames:int ->
+  ?frame_bytes:int ->
+  ?seed:int ->
+  string ->
+  phase list
+(** Runs the six measurement phases against an existing object file and
+    returns them in paper order. *)
+
+val verify : fsops -> ?frames:int -> ?frame_bytes:int -> string -> bool
+(** Checks the object's content against the writer's deterministic
+    pattern (catches corruption introduced by any phase). *)

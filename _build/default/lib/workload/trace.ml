@@ -1,0 +1,112 @@
+type event =
+  | Create of { path : string; bytes : int }
+  | Read of { path : string; off : int; len : int }
+  | Overwrite of { path : string; off : int; len : int }
+  | Delete of { path : string }
+  | Advance of float
+
+type config = {
+  nfiles : int;
+  mean_file_bytes : int;
+  zipf_skew : float;
+  events : int;
+  read_fraction : float;
+  delete_fraction : float;
+  burst_length : int;
+  idle_mean : float;
+  whole_file_fraction : float;
+}
+
+let default =
+  {
+    nfiles = 40;
+    mean_file_bytes = 64 * 1024;
+    zipf_skew = 1.1;
+    events = 400;
+    read_fraction = 0.75;
+    delete_fraction = 0.05;
+    burst_length = 4;
+    idle_mean = 120.0;
+    whole_file_fraction = 0.6;
+  }
+
+let path_of i = Printf.sprintf "/archive/f%04d" i
+
+(* File sizes: a few large, many small (two size classes around the
+   mean, roughly matching scientific-archive populations). *)
+let size_of rng cfg =
+  if Util.Rng.int rng 10 = 0 then cfg.mean_file_bytes * 8
+  else max 1024 (cfg.mean_file_bytes / 2 + Util.Rng.int rng cfg.mean_file_bytes)
+
+let generate ~seed cfg =
+  let rng = Util.Rng.create seed in
+  let zipf = Util.Rng.zipf ~s:cfg.zipf_skew ~n:cfg.nfiles in
+  let sizes = Array.init cfg.nfiles (fun _ -> size_of rng cfg) in
+  let alive = Array.make cfg.nfiles false in
+  let events = ref [] in
+  let emit e = events := e :: !events in
+  (* create everything up front (the archive is write-dominated) *)
+  for i = 0 to cfg.nfiles - 1 do
+    emit (Create { path = path_of i; bytes = sizes.(i) });
+    alive.(i) <- true;
+    if i mod 8 = 7 then emit (Advance (Util.Rng.float rng (cfg.idle_mean /. 4.0)))
+  done;
+  let remaining = ref cfg.events in
+  while !remaining > 0 do
+    emit (Advance (Util.Rng.float rng (2.0 *. cfg.idle_mean)));
+    (* pick a file by popularity; re-activation is a burst *)
+    let i = Util.Rng.zipf_draw rng zipf - 1 in
+    if alive.(i) then begin
+      let r = Util.Rng.float rng 1.0 in
+      if r < cfg.delete_fraction then begin
+        emit (Delete { path = path_of i });
+        alive.(i) <- false;
+        decr remaining
+      end
+      else begin
+        let burst = 1 + Util.Rng.int rng cfg.burst_length in
+        for _ = 1 to burst do
+          if !remaining > 0 then begin
+            let len =
+              if Util.Rng.float rng 1.0 < cfg.whole_file_fraction then sizes.(i)
+              else max 4096 (Util.Rng.int rng sizes.(i))
+            in
+            let off = if len >= sizes.(i) then 0 else Util.Rng.int rng (sizes.(i) - len) in
+            if Util.Rng.float rng 1.0 < cfg.read_fraction then
+              emit (Read { path = path_of i; off; len })
+            else emit (Overwrite { path = path_of i; off; len });
+            decr remaining
+          end
+        done
+      end
+    end
+    else begin
+      (* recreate a deleted file (new data arrives) *)
+      sizes.(i) <- size_of rng cfg;
+      emit (Create { path = path_of i; bytes = sizes.(i) });
+      alive.(i) <- true;
+      decr remaining
+    end
+  done;
+  List.rev !events
+
+let replay ~engine ~write ~read ~delete events =
+  ignore engine;
+  let payload = Hashtbl.create 16 in
+  let content path n =
+    let seed = Hashtbl.hash path land 0xff in
+    match Hashtbl.find_opt payload (path, n) with
+    | Some b -> b
+    | None ->
+        let b = Bytes.init n (fun i -> Char.chr ((seed + (i * 7)) land 0xff)) in
+        Hashtbl.replace payload (path, n) b;
+        b
+  in
+  List.iter
+    (function
+      | Create { path; bytes } -> write path ~off:0 (content path bytes)
+      | Read { path; off; len } -> read path ~off ~len
+      | Overwrite { path; off; len } -> write path ~off (content path len)
+      | Delete { path } -> delete path
+      | Advance dt -> Sim.Engine.delay dt)
+    events

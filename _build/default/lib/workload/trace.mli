@@ -1,0 +1,40 @@
+(** Synthetic archival workload: a stream of file events with the
+    skew the paper assumes (§5): "most archived data are never re-read;
+    once archived data become active again, they are accessed many
+    times before becoming inactive". File popularity is Zipf-ranked,
+    re-activation draws a burst of accesses, and a small modify
+    probability captures unstable files. Used by the policy-ablation
+    benches and the examples. *)
+
+type event =
+  | Create of { path : string; bytes : int }
+  | Read of { path : string; off : int; len : int }
+  | Overwrite of { path : string; off : int; len : int }
+  | Delete of { path : string }
+  | Advance of float  (** idle time between activity bursts *)
+
+type config = {
+  nfiles : int;
+  mean_file_bytes : int;
+  zipf_skew : float;
+  events : int;
+  read_fraction : float;  (** of post-create events *)
+  delete_fraction : float;
+  burst_length : int;  (** accesses per re-activation *)
+  idle_mean : float;  (** seconds between bursts *)
+  whole_file_fraction : float;  (** reads that span the whole file *)
+}
+
+val default : config
+
+val generate : seed:int -> config -> event list
+
+val replay :
+  engine:Sim.Engine.t ->
+  write:(string -> off:int -> Bytes.t -> unit) ->
+  read:(string -> off:int -> len:int -> unit) ->
+  delete:(string -> unit) ->
+  event list ->
+  unit
+(** Drives the events against file-system callbacks, advancing the
+    simulated clock for [Advance] events. *)

@@ -1,0 +1,1 @@
+soak/soak.ml: Array Cleaner Debug Dev Device Dir File Footprint Fs Highlight Lfs List Param Policy Printexc Printf Sim Soak_config Sys Trace Workload

@@ -1,0 +1,1 @@
+soak/soak.mli:

@@ -1,0 +1,1 @@
+soak/soak_config.ml: Lfs Param

@@ -1,0 +1,18 @@
+(* The soak test's file-system parameters: paper geometry with the
+   bench harness's calibrated 1993 CPU model. *)
+
+open Lfs
+
+let cpu =
+  { Param.syscall = 0.0004; per_block = 0.0007; copy_rate = 3.2 *. 1024.0 *. 1024.0 }
+
+let paper_prm =
+  {
+    Param.block_size = 4096;
+    seg_blocks = 256;
+    nsegs = 832;
+    max_inodes = 4096;
+    bcache_blocks = 800;
+    clean_reserve = 8;
+    cpu;
+  }

@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest Array Blockstore Bytes Char Concat Device Disk Hashtbl Jukebox List Printf QCheck QCheck_alcotest Sim String Util

@@ -1,0 +1,1 @@
+test/test_ffs.ml: Alcotest Array Bcache Bytes Char Dev Device Ffs Hashtbl Inode Lfs List Option Param Printf QCheck QCheck_alcotest Sim Util

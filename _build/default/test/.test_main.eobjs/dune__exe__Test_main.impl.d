@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest List Test_device Test_extra Test_ffs Test_highlight Test_lfs Test_policy Test_sim Test_util

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Condvar Engine Float Gen List Mailbox QCheck QCheck_alcotest Resource Sim Stats

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bytes Bytesx Char Crc32 Gen Heap Int64 List Lru QCheck QCheck_alcotest Rng String Util

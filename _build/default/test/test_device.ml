@@ -1,0 +1,422 @@
+open Device
+
+let check = Alcotest.check
+
+let in_sim f =
+  let e = Sim.Engine.create () in
+  let result = ref None in
+  Sim.Engine.spawn e (fun () -> result := Some (f e));
+  Sim.Engine.run e;
+  match !result with Some r -> r | None -> Alcotest.fail "sim process did not finish"
+
+(* --- Blockstore --- *)
+
+let test_store_zero_fill () =
+  let s = Blockstore.create ~block_size:16 ~nblocks:8 in
+  check Alcotest.bool "reads zeros" true (Util.Bytesx.is_zero (Blockstore.read s ~blk:3 ~count:2))
+
+let test_store_roundtrip () =
+  let s = Blockstore.create ~block_size:16 ~nblocks:8 in
+  let data = Bytes.of_string (String.init 32 (fun i -> Char.chr (i + 65))) in
+  Blockstore.write s ~blk:2 data;
+  check Alcotest.bytes "roundtrip" data (Blockstore.read s ~blk:2 ~count:2);
+  check Alcotest.bool "marked written" true (Blockstore.is_written s 3);
+  check Alcotest.bool "others untouched" false (Blockstore.is_written s 4);
+  check Alcotest.int "count" 2 (Blockstore.written_blocks s)
+
+let test_store_bounds () =
+  let s = Blockstore.create ~block_size:16 ~nblocks:8 in
+  let boom f = try f (); false with Invalid_argument _ -> true in
+  check Alcotest.bool "read past end" true (boom (fun () -> ignore (Blockstore.read s ~blk:7 ~count:2)));
+  check Alcotest.bool "negative" true (boom (fun () -> ignore (Blockstore.read s ~blk:(-1) ~count:1)));
+  check Alcotest.bool "bad write len" true (boom (fun () -> Blockstore.write s ~blk:0 (Bytes.create 10)))
+
+let test_store_erase_block () =
+  let s = Blockstore.create ~block_size:16 ~nblocks:8 in
+  Blockstore.write s ~blk:1 (Bytes.make 16 'z');
+  Blockstore.erase_block s 1;
+  check Alcotest.bool "erased" false (Blockstore.is_written s 1);
+  check Alcotest.bool "zeros again" true (Util.Bytesx.is_zero (Blockstore.read s ~blk:1 ~count:1))
+
+(* --- Disk timing --- *)
+
+let test_disk_sequential_rate () =
+  let elapsed =
+    in_sim (fun e ->
+        let d = Disk.create e Disk.rz57 ~name:"d0" in
+        let t0 = Sim.Engine.now e in
+        (* 10 x 1MB sequential reads *)
+        for i = 0 to 9 do
+          ignore (Disk.read d ~blk:(i * 256) ~count:256)
+        done;
+        Sim.Engine.now e -. t0)
+  in
+  let rate = (10.0 *. 1024.0 *. 1024.0) /. elapsed /. 1024.0 in
+  (* paper Table 5: raw RZ57 read 1417 KB/s; allow a few percent model overhead *)
+  check Alcotest.bool
+    (Printf.sprintf "sequential read rate ~1417 KB/s (got %.0f)" rate)
+    true
+    (rate > 1300.0 && rate <= 1417.0)
+
+let test_disk_write_slower_than_read () =
+  let time_of op =
+    in_sim (fun e ->
+        let d = Disk.create e Disk.rz57 ~name:"d0" in
+        let t0 = Sim.Engine.now e in
+        op d;
+        Sim.Engine.now e -. t0)
+  in
+  let read_t = time_of (fun d -> ignore (Disk.read d ~blk:0 ~count:256)) in
+  let write_t = time_of (fun d -> Disk.write d ~blk:0 (Bytes.create (256 * 4096))) in
+  check Alcotest.bool "write slower" true (write_t > read_t)
+
+let test_disk_random_slower_than_sequential () =
+  let seq =
+    in_sim (fun e ->
+        let d = Disk.create e Disk.rz57 ~name:"d0" in
+        let t0 = Sim.Engine.now e in
+        for i = 0 to 63 do
+          ignore (Disk.read d ~blk:i ~count:1)
+        done;
+        Sim.Engine.now e -. t0)
+  in
+  let random =
+    in_sim (fun e ->
+        let d = Disk.create e Disk.rz57 ~name:"d0" in
+        let rng = Util.Rng.create 3 in
+        let t0 = Sim.Engine.now e in
+        for _ = 0 to 63 do
+          ignore (Disk.read d ~blk:(Util.Rng.int rng (Disk.nblocks d)) ~count:1)
+        done;
+        Sim.Engine.now e -. t0)
+  in
+  check Alcotest.bool "random >3x slower" true (random > 3.0 *. seq)
+
+let test_disk_data_integrity () =
+  in_sim (fun e ->
+      let d = Disk.create e Disk.rz58 ~name:"d0" in
+      let rng = Util.Rng.create 11 in
+      let blobs =
+        List.init 20 (fun i ->
+            let blk = Util.Rng.int rng (Disk.nblocks d - 4) in
+            let data = Bytes.init (4096 * 2) (fun j -> Char.chr ((i + j) land 0xff)) in
+            (blk, data))
+      in
+      (* later writes may overlap earlier ones; replay to compute expectation *)
+      List.iter (fun (blk, data) -> Disk.write d ~blk data) blobs;
+      let expect = Blockstore.create ~block_size:4096 ~nblocks:(Disk.nblocks d) in
+      List.iter (fun (blk, data) -> Blockstore.write expect ~blk data) blobs;
+      List.iter
+        (fun (blk, _) ->
+          check Alcotest.bytes "disk data" (Blockstore.read expect ~blk ~count:2)
+            (Disk.read d ~blk ~count:2))
+        blobs)
+
+let test_disk_contention_interleaves () =
+  (* Two competing streams on one disk must be slower than back-to-back,
+     because each steals the arm at the 64 KB chunk grain. *)
+  let solo =
+    in_sim (fun e ->
+        let d = Disk.create e Disk.rz57 ~name:"d0" in
+        let t0 = Sim.Engine.now e in
+        ignore (Disk.read d ~blk:0 ~count:2560);
+        ignore (Disk.read d ~blk:100_000 ~count:2560);
+        Sim.Engine.now e -. t0)
+  in
+  let contended =
+    let e = Sim.Engine.create () in
+    let d = Disk.create e Disk.rz57 ~name:"d0" in
+    Sim.Engine.spawn e (fun () -> ignore (Disk.read d ~blk:0 ~count:2560));
+    Sim.Engine.spawn e (fun () -> ignore (Disk.read d ~blk:100_000 ~count:2560));
+    Sim.Engine.run e;
+    Sim.Engine.now e
+  in
+  check Alcotest.bool
+    (Printf.sprintf "contention hurts (solo %.2f contended %.2f)" solo contended)
+    true
+    (contended > 1.5 *. solo)
+
+let test_disk_stats () =
+  in_sim (fun e ->
+      let d = Disk.create e Disk.rz57 ~name:"d0" in
+      ignore (Disk.read d ~blk:0 ~count:4);
+      Disk.write d ~blk:8 (Bytes.create 4096);
+      check Alcotest.int "reads" 1 (Disk.reads d);
+      check Alcotest.int "writes" 1 (Disk.writes d);
+      check Alcotest.int "bytes read" (4 * 4096) (Disk.bytes_read d);
+      check Alcotest.int "bytes written" 4096 (Disk.bytes_written d);
+      Disk.reset_stats d;
+      check Alcotest.int "reset" 0 (Disk.reads d))
+
+(* --- Jukebox --- *)
+
+let mk_jb ?(drives = 2) ?(nvolumes = 4) ?(vol_capacity = 2560) e =
+  Jukebox.create e ~drives ~nvolumes ~vol_capacity ~media:Jukebox.hp6300_platter
+    ~changer:Jukebox.hp6300_changer "jb"
+
+let test_jukebox_swap_cost () =
+  in_sim (fun e ->
+      let jb = mk_jb e in
+      let t0 = Sim.Engine.now e in
+      ignore (Jukebox.read jb ~vol:0 ~blk:0 ~count:1);
+      let first = Sim.Engine.now e -. t0 in
+      check Alcotest.bool "first access pays a swap" true (first > 13.0);
+      let t1 = Sim.Engine.now e in
+      ignore (Jukebox.read jb ~vol:0 ~blk:1 ~count:1);
+      let second = Sim.Engine.now e -. t1 in
+      check Alcotest.bool "loaded volume is cheap" true (second < 0.5);
+      check Alcotest.int "one swap" 1 (Jukebox.swaps jb))
+
+let test_jukebox_two_drives_hold_two_volumes () =
+  in_sim (fun e ->
+      let jb = mk_jb e in
+      ignore (Jukebox.read jb ~vol:0 ~blk:0 ~count:1);
+      ignore (Jukebox.read jb ~vol:1 ~blk:0 ~count:1);
+      ignore (Jukebox.read jb ~vol:0 ~blk:1 ~count:1);
+      ignore (Jukebox.read jb ~vol:1 ~blk:1 ~count:1);
+      (* both fit: exactly two swaps *)
+      check Alcotest.int "two swaps" 2 (Jukebox.swaps jb))
+
+let test_jukebox_eviction_lru () =
+  in_sim (fun e ->
+      let jb = mk_jb e in
+      ignore (Jukebox.read jb ~vol:0 ~blk:0 ~count:1);
+      ignore (Jukebox.read jb ~vol:1 ~blk:0 ~count:1);
+      ignore (Jukebox.read jb ~vol:0 ~blk:1 ~count:1) (* touch 0 so 1 is LRU *);
+      ignore (Jukebox.read jb ~vol:2 ~blk:0 ~count:1) (* evicts 1 *);
+      let held = Jukebox.loaded jb in
+      check Alcotest.bool "vol0 still loaded" true (Array.mem (Some 0) held);
+      check Alcotest.bool "vol2 loaded" true (Array.mem (Some 2) held);
+      check Alcotest.bool "vol1 ejected" false (Array.mem (Some 1) held))
+
+let test_jukebox_data_roundtrip () =
+  in_sim (fun e ->
+      let jb = mk_jb e in
+      let data = Bytes.init (4096 * 3) (fun i -> Char.chr (i land 0xff)) in
+      Jukebox.write jb ~vol:2 ~blk:100 data;
+      check Alcotest.bytes "tertiary roundtrip" data (Jukebox.read jb ~vol:2 ~blk:100 ~count:3))
+
+let test_jukebox_mo_rates () =
+  in_sim (fun e ->
+      let jb = mk_jb e in
+      ignore (Jukebox.read jb ~vol:0 ~blk:0 ~count:1) (* pay the swap *);
+      let meg = Bytes.create (256 * 4096) in
+      let t0 = Sim.Engine.now e in
+      for i = 0 to 4 do
+        Jukebox.write jb ~vol:0 ~blk:(256 + (i * 256)) meg
+      done;
+      let w_rate = (5.0 *. 1024.0) /. (Sim.Engine.now e -. t0) in
+      check Alcotest.bool
+        (Printf.sprintf "MO write ~204 KB/s (got %.0f)" w_rate)
+        true
+        (w_rate > 185.0 && w_rate <= 204.0);
+      let t1 = Sim.Engine.now e in
+      for i = 0 to 4 do
+        ignore (Jukebox.read jb ~vol:0 ~blk:(256 + (i * 256)) ~count:256)
+      done;
+      let r_rate = (5.0 *. 1024.0) /. (Sim.Engine.now e -. t1) in
+      check Alcotest.bool
+        (Printf.sprintf "MO read ~451 KB/s (got %.0f)" r_rate)
+        true
+        (r_rate > 420.0 && r_rate <= 451.0))
+
+let test_jukebox_write_drive_reservation () =
+  in_sim (fun e ->
+      let jb = mk_jb e in
+      Jukebox.reserve_write_drive jb true;
+      Jukebox.write jb ~vol:0 ~blk:0 (Bytes.create 4096);
+      ignore (Jukebox.read jb ~vol:1 ~blk:0 ~count:1);
+      ignore (Jukebox.read jb ~vol:2 ~blk:0 ~count:1);
+      (* reads must not evict the write volume from drive 0 *)
+      check Alcotest.(option int) "write volume pinned" (Some 0) (Jukebox.loaded jb).(0))
+
+let test_worm_enforcement () =
+  in_sim (fun e ->
+      let jb =
+        Jukebox.create e ~drives:1 ~nvolumes:2 ~vol_capacity:256 ~media:Jukebox.sony_worm
+          ~changer:Jukebox.hp6300_changer "worm"
+      in
+      Jukebox.write jb ~vol:0 ~blk:5 (Bytes.create 4096);
+      check Alcotest.bool "overwrite raises" true
+        (try
+           Jukebox.write jb ~vol:0 ~blk:5 (Bytes.create 4096);
+           false
+         with Jukebox.Worm_overwrite { vol = 0; blk = 5 } -> true);
+      check Alcotest.bool "erase raises" true
+        (try
+           Jukebox.erase_volume jb 0;
+           false
+         with Invalid_argument _ -> true))
+
+let test_tape_seek_proportional () =
+  in_sim (fun e ->
+      let jb =
+        Jukebox.create e ~drives:1 ~nvolumes:1 ~media:Jukebox.metrum_tape
+          ~changer:Jukebox.metrum_changer "tape"
+      in
+      ignore (Jukebox.read jb ~vol:0 ~blk:0 ~count:1);
+      let t0 = Sim.Engine.now e in
+      ignore (Jukebox.read jb ~vol:0 ~blk:10_000 ~count:1);
+      let near = Sim.Engine.now e -. t0 in
+      let t1 = Sim.Engine.now e in
+      ignore (Jukebox.read jb ~vol:0 ~blk:3_000_000 ~count:1);
+      let far = Sim.Engine.now e -. t1 in
+      check Alcotest.bool "long tape seek costs more" true (far > 2.0 *. near))
+
+(* --- Concat / stripe --- *)
+
+let test_concat_mapping () =
+  in_sim (fun e ->
+      let d0 = Disk.create e ~nblocks:100 Disk.rz57 ~name:"d0" in
+      let d1 = Disk.create e ~nblocks:50 Disk.rz57 ~name:"d1" in
+      let c = Concat.concat [ d0; d1 ] in
+      check Alcotest.int "total" 150 (Concat.nblocks c);
+      let dev, off = Concat.locate c 99 in
+      check Alcotest.string "end of d0" "d0" (Disk.name dev);
+      check Alcotest.int "off" 99 off;
+      let dev, off = Concat.locate c 100 in
+      check Alcotest.string "start of d1" "d1" (Disk.name dev);
+      check Alcotest.int "off0" 0 off)
+
+let test_concat_boundary_io () =
+  in_sim (fun e ->
+      let d0 = Disk.create e ~nblocks:100 Disk.rz57 ~name:"d0" in
+      let d1 = Disk.create e ~nblocks:50 Disk.rz57 ~name:"d1" in
+      let c = Concat.concat [ d0; d1 ] in
+      let data = Bytes.init (4 * 4096) (fun i -> Char.chr ((i * 7) land 0xff)) in
+      Concat.write c ~blk:98 data;
+      check Alcotest.bytes "spans boundary" data (Concat.read c ~blk:98 ~count:4);
+      (* each disk really got its share *)
+      check Alcotest.bool "d0 got blocks" true (Blockstore.is_written (Disk.store d0) 99);
+      check Alcotest.bool "d1 got blocks" true (Blockstore.is_written (Disk.store d1) 1))
+
+let test_stripe_mapping () =
+  in_sim (fun e ->
+      let d0 = Disk.create e ~nblocks:64 Disk.rz57 ~name:"d0" in
+      let d1 = Disk.create e ~nblocks:64 Disk.rz57 ~name:"d1" in
+      let s = Concat.stripe ~stripe_blocks:4 [ d0; d1 ] in
+      check Alcotest.int "total" 128 (Concat.nblocks s);
+      let dev, _ = Concat.locate s 0 in
+      check Alcotest.string "first unit on d0" "d0" (Disk.name dev);
+      let dev, off = Concat.locate s 4 in
+      check Alcotest.string "second unit on d1" "d1" (Disk.name dev);
+      check Alcotest.int "at disk start" 0 off;
+      let dev, off = Concat.locate s 8 in
+      check Alcotest.string "third unit back on d0" "d0" (Disk.name dev);
+      check Alcotest.int "after first unit" 4 off)
+
+let test_stripe_io_roundtrip () =
+  in_sim (fun e ->
+      let d0 = Disk.create e ~nblocks:64 Disk.rz57 ~name:"d0" in
+      let d1 = Disk.create e ~nblocks:64 Disk.rz57 ~name:"d1" in
+      let s = Concat.stripe ~stripe_blocks:4 [ d0; d1 ] in
+      let data = Bytes.init (12 * 4096) (fun i -> Char.chr ((i * 13) land 0xff)) in
+      Concat.write s ~blk:2 data;
+      check Alcotest.bytes "striped roundtrip" data (Concat.read s ~blk:2 ~count:12))
+
+let prop_concat_roundtrip =
+  QCheck.Test.make ~name:"concat preserves data at any offset" ~count:60
+    QCheck.(pair (int_range 0 140) (int_range 1 8))
+    (fun (blk, count) ->
+      QCheck.assume (blk + count <= 150);
+      in_sim (fun e ->
+          let d0 = Disk.create e ~nblocks:100 Disk.rz57 ~name:"d0" in
+          let d1 = Disk.create e ~nblocks:50 Disk.rz57 ~name:"d1" in
+          let c = Concat.concat [ d0; d1 ] in
+          let data = Bytes.init (count * 4096) (fun i -> Char.chr ((blk + i) land 0xff)) in
+          Concat.write c ~blk data;
+          Concat.read c ~blk ~count = data))
+
+let prop_stripe_locate_bijective =
+  QCheck.Test.make ~name:"stripe mapping is a bijection" ~count:30
+    QCheck.(pair (int_range 1 8) (int_range 2 4))
+    (fun (unit_blocks, ndisks) ->
+      in_sim (fun e ->
+          let disks =
+            List.init ndisks (fun i ->
+                Disk.create e ~nblocks:64 Disk.rz57 ~name:(Printf.sprintf "d%d" i))
+          in
+          let s = Concat.stripe ~stripe_blocks:unit_blocks disks in
+          let seen = Hashtbl.create 97 in
+          let ok = ref true in
+          for blk = 0 to Concat.nblocks s - 1 do
+            let d, off = Concat.locate s blk in
+            let key = (Disk.name d, off) in
+            if Hashtbl.mem seen key then ok := false;
+            Hashtbl.replace seen key ()
+          done;
+          !ok && Hashtbl.length seen = Concat.nblocks s))
+
+let prop_seek_monotone =
+  QCheck.Test.make ~name:"longer seeks never cost less" ~count:40
+    QCheck.(pair (int_range 1 100_000) (int_range 1 100_000))
+    (fun (d1, d2) ->
+      let near = min d1 d2 and far = max d1 d2 in
+      let time_of dist =
+        in_sim (fun e ->
+            let d = Disk.create e Disk.rz57 ~name:"d" in
+            ignore (Disk.read d ~blk:0 ~count:1) (* park the arm *);
+            let t0 = Sim.Engine.now e in
+            ignore (Disk.read d ~blk:dist ~count:1);
+            Sim.Engine.now e -. t0)
+      in
+      time_of far >= time_of near -. 1e-9)
+
+let prop_jukebox_roundtrip =
+  QCheck.Test.make ~name:"jukebox preserves data across volumes" ~count:30
+    QCheck.(triple (int_range 0 3) (int_range 0 2500) (int_range 1 8))
+    (fun (vol, blk, count) ->
+      QCheck.assume (blk + count <= 2560);
+      in_sim (fun e ->
+          let jb =
+            Jukebox.create e ~drives:2 ~nvolumes:4 ~vol_capacity:2560
+              ~media:Jukebox.hp6300_platter ~changer:Jukebox.hp6300_changer "jb"
+          in
+          let data = Bytes.init (count * 4096) (fun i -> Char.chr ((vol + blk + i) land 0xff)) in
+          Jukebox.write jb ~vol ~blk data;
+          Bytes.equal data (Jukebox.read jb ~vol ~blk ~count)))
+
+let props =
+  [ prop_concat_roundtrip; prop_stripe_locate_bijective; prop_seek_monotone;
+    prop_jukebox_roundtrip ]
+
+let suite =
+  [
+    ( "device.blockstore",
+      [
+        Alcotest.test_case "zero fill" `Quick test_store_zero_fill;
+        Alcotest.test_case "roundtrip" `Quick test_store_roundtrip;
+        Alcotest.test_case "bounds" `Quick test_store_bounds;
+        Alcotest.test_case "erase block" `Quick test_store_erase_block;
+      ] );
+    ( "device.disk",
+      [
+        Alcotest.test_case "sequential rate matches Table 5" `Quick test_disk_sequential_rate;
+        Alcotest.test_case "write slower than read" `Quick test_disk_write_slower_than_read;
+        Alcotest.test_case "random slower than sequential" `Quick
+          test_disk_random_slower_than_sequential;
+        Alcotest.test_case "data integrity" `Quick test_disk_data_integrity;
+        Alcotest.test_case "arm contention interleaves" `Quick test_disk_contention_interleaves;
+        Alcotest.test_case "stats" `Quick test_disk_stats;
+      ] );
+    ( "device.jukebox",
+      [
+        Alcotest.test_case "swap cost" `Quick test_jukebox_swap_cost;
+        Alcotest.test_case "two drives hold two volumes" `Quick
+          test_jukebox_two_drives_hold_two_volumes;
+        Alcotest.test_case "LRU eviction" `Quick test_jukebox_eviction_lru;
+        Alcotest.test_case "data roundtrip" `Quick test_jukebox_data_roundtrip;
+        Alcotest.test_case "MO rates match Table 5" `Quick test_jukebox_mo_rates;
+        Alcotest.test_case "write drive reservation" `Quick test_jukebox_write_drive_reservation;
+        Alcotest.test_case "WORM enforcement" `Quick test_worm_enforcement;
+        Alcotest.test_case "tape seek proportional" `Quick test_tape_seek_proportional;
+      ] );
+    ( "device.concat",
+      [
+        Alcotest.test_case "concat mapping" `Quick test_concat_mapping;
+        Alcotest.test_case "boundary io" `Quick test_concat_boundary_io;
+        Alcotest.test_case "stripe mapping" `Quick test_stripe_mapping;
+        Alcotest.test_case "stripe roundtrip" `Quick test_stripe_io_roundtrip;
+      ] );
+    ("device.properties", List.map QCheck_alcotest.to_alcotest props);
+  ]

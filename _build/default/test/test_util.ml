@@ -1,0 +1,276 @@
+open Util
+
+let check = Alcotest.check
+
+(* --- Bytesx --- *)
+
+let test_u16_roundtrip () =
+  let b = Bytes.create 8 in
+  List.iter
+    (fun v ->
+      Bytesx.set_u16 b 2 v;
+      check Alcotest.int "u16" v (Bytesx.get_u16 b 2))
+    [ 0; 1; 255; 256; 0xfffe; 0xffff ]
+
+let test_u32_roundtrip () =
+  let b = Bytes.create 16 in
+  List.iter
+    (fun v ->
+      Bytesx.set_u32 b 4 v;
+      check Alcotest.int "u32" v (Bytesx.get_u32 b 4))
+    [ 0; 1; 0xffff; 0x7fffffff; 0xdeadbeef; 0xffffffff ]
+
+let test_i32_negative () =
+  let b = Bytes.create 8 in
+  List.iter
+    (fun v ->
+      Bytesx.set_i32 b 0 v;
+      check Alcotest.int "i32" v (Bytesx.get_i32 b 0))
+    [ -1; -12345; 0; 1; 0x7fffffff; -0x80000000 ]
+
+let test_u64_roundtrip () =
+  let b = Bytes.create 16 in
+  List.iter
+    (fun v ->
+      Bytesx.set_u64 b 8 v;
+      check Alcotest.int64 "u64" v (Bytesx.get_u64 b 8))
+    [ 0L; 1L; Int64.max_int; Int64.min_int; 0xdeadbeefcafef00dL ]
+
+let test_string_field () =
+  let b = Bytes.make 32 'x' in
+  Bytesx.set_string b ~pos:4 ~len:12 "hello";
+  check Alcotest.string "name" "hello" (Bytesx.get_string b ~pos:4 ~len:12);
+  (* padding must be NUL, not leftovers *)
+  check Alcotest.char "pad" '\000' (Bytes.get b (4 + 5));
+  Bytesx.set_string b ~pos:4 ~len:12 "exactly12chr";
+  check Alcotest.string "full width" "exactly12chr" (Bytesx.get_string b ~pos:4 ~len:12);
+  Alcotest.check_raises "too long" (Invalid_argument "Bytesx.set_string: too long")
+    (fun () -> Bytesx.set_string b ~pos:4 ~len:12 "much too long indeed")
+
+let test_is_zero () =
+  check Alcotest.bool "fresh" true (Bytesx.is_zero (Bytes.make 64 '\000'));
+  let b = Bytes.make 64 '\000' in
+  Bytes.set b 63 '\001';
+  check Alcotest.bool "dirty" false (Bytesx.is_zero b);
+  check Alcotest.bool "empty" true (Bytesx.is_zero Bytes.empty)
+
+(* --- Crc32 --- *)
+
+let test_crc32_known () =
+  (* Standard test vector for CRC-32/IEEE. *)
+  check Alcotest.int "123456789" 0xcbf43926 (Crc32.string "123456789");
+  check Alcotest.int "empty" 0 (Crc32.string "")
+
+let test_crc32_combine () =
+  let a = Bytes.of_string "hello " and b = Bytes.of_string "world" in
+  let whole = Crc32.string "hello world" in
+  let stepwise = Crc32.combine (Crc32.bytes a) b in
+  check Alcotest.int "combine" whole stepwise
+
+let test_crc32_range () =
+  let b = Bytes.of_string "xxhelloyy" in
+  check Alcotest.int "sub" (Crc32.string "hello") (Crc32.bytes ~off:2 ~len:5 b)
+
+(* --- Lru --- *)
+
+let test_lru_basic () =
+  let l = Lru.create ~cap:2 () in
+  Lru.add l 1 "a";
+  Lru.add l 2 "b";
+  check Alcotest.(option string) "find 1" (Some "a") (Lru.find l 1);
+  Lru.add l 3 "c" (* evicts 2, since 1 was just promoted *);
+  check Alcotest.(option string) "2 gone" None (Lru.find l 2);
+  check Alcotest.(option string) "1 stays" (Some "a") (Lru.find l 1);
+  check Alcotest.int "len" 2 (Lru.length l)
+
+let test_lru_on_evict () =
+  let evicted = ref [] in
+  let l = Lru.create ~on_evict:(fun k v -> evicted := (k, v) :: !evicted) ~cap:1 () in
+  Lru.add l 1 "a";
+  Lru.add l 2 "b";
+  check Alcotest.(list (pair int string)) "evicted" [ (1, "a") ] !evicted
+
+let test_lru_replace () =
+  let l = Lru.create ~cap:2 () in
+  Lru.add l 1 "a";
+  Lru.add l 1 "a2";
+  check Alcotest.(option string) "replaced" (Some "a2") (Lru.find l 1);
+  check Alcotest.int "no dup" 1 (Lru.length l)
+
+let test_lru_peek_no_promote () =
+  let l = Lru.create ~cap:2 () in
+  Lru.add l 1 "a";
+  Lru.add l 2 "b";
+  ignore (Lru.peek l 1);
+  Lru.add l 3 "c";
+  (* 1 was peeked, not promoted, so it is still LRU and gets evicted *)
+  check Alcotest.(option string) "1 evicted" None (Lru.peek l 1);
+  check Alcotest.(option string) "2 stays" (Some "b") (Lru.peek l 2)
+
+let test_lru_pop_lru () =
+  let l = Lru.create ~cap:3 () in
+  Lru.add l 1 "a";
+  Lru.add l 2 "b";
+  Lru.add l 3 "c";
+  check Alcotest.(option (pair int string)) "pop" (Some (1, "a")) (Lru.pop_lru l);
+  check Alcotest.(option (pair int string)) "pop2" (Some (2, "b")) (Lru.pop_lru l);
+  check Alcotest.int "len" 1 (Lru.length l)
+
+let test_lru_iter_order () =
+  let l = Lru.create ~cap:4 () in
+  List.iter (fun k -> Lru.add l k (string_of_int k)) [ 1; 2; 3 ];
+  ignore (Lru.find l 1);
+  let order = ref [] in
+  Lru.iter (fun k _ -> order := k :: !order) l;
+  check Alcotest.(list int) "mru first" [ 1; 3; 2 ] (List.rev !order)
+
+let test_lru_remove_clear () =
+  let l = Lru.create ~cap:4 () in
+  List.iter (fun k -> Lru.add l k k) [ 1; 2; 3 ];
+  Lru.remove l 2;
+  check Alcotest.(option int) "removed" None (Lru.peek l 2);
+  check Alcotest.int "len" 2 (Lru.length l);
+  Lru.clear l;
+  check Alcotest.int "cleared" 0 (Lru.length l);
+  check Alcotest.(option (pair int int)) "pop empty" None (Lru.pop_lru l)
+
+(* --- Heap --- *)
+
+let test_heap_sorts () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 3; 9; 2 ];
+  let rec drain acc = match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc) in
+  check Alcotest.(list int) "sorted" [ 1; 1; 2; 3; 4; 5; 9 ] (drain [])
+
+let test_heap_peek () =
+  let h = Heap.create ~cmp:compare in
+  check Alcotest.(option int) "empty" None (Heap.peek h);
+  Heap.push h 3;
+  Heap.push h 1;
+  check Alcotest.(option int) "peek" (Some 1) (Heap.peek h);
+  check Alcotest.int "len" 2 (Heap.length h)
+
+(* --- Rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 42 in
+  let c = Rng.split a in
+  let xs = List.init 10 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 10 (fun _ -> Rng.int c 1000) in
+  check Alcotest.bool "streams differ" true (xs <> ys)
+
+let test_zipf_skew () =
+  let r = Rng.create 7 in
+  let z = Rng.zipf ~s:1.0 ~n:100 in
+  let counts = Array.make 101 0 in
+  for _ = 1 to 20_000 do
+    let k = Rng.zipf_draw r z in
+    check Alcotest.bool "in range" true (k >= 1 && k <= 100);
+    counts.(k) <- counts.(k) + 1
+  done;
+  check Alcotest.bool "rank 1 beats rank 50" true (counts.(1) > counts.(50));
+  check Alcotest.bool "rank 1 dominates" true (counts.(1) > 2_000)
+
+(* --- property tests --- *)
+
+let prop_crc_detects_flip =
+  QCheck.Test.make ~name:"crc32 detects any single bit flip" ~count:200
+    QCheck.(pair (string_of_size Gen.(1 -- 64)) (int_bound 1000))
+    (fun (s, pos_seed) ->
+      QCheck.assume (String.length s > 0);
+      let b = Bytes.of_string s in
+      let pos = pos_seed mod Bytes.length b in
+      let bit = pos_seed mod 8 in
+      let orig = Crc32.bytes b in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+      Crc32.bytes b <> orig)
+
+let prop_lru_never_exceeds_cap =
+  QCheck.Test.make ~name:"lru size bounded by capacity" ~count:200
+    QCheck.(pair (int_range 1 16) (list small_nat))
+    (fun (cap, ops) ->
+      let l = Lru.create ~cap () in
+      List.iter (fun k -> Lru.add l k k) ops;
+      Lru.length l <= cap)
+
+let prop_lru_find_after_add =
+  QCheck.Test.make ~name:"most recent add always findable" ~count:200
+    QCheck.(pair (int_range 1 16) (small_list small_nat))
+    (fun (cap, ops) ->
+      let l = Lru.create ~cap () in
+      List.for_all
+        (fun k ->
+          Lru.add l k (k * 2);
+          Lru.peek l k = Some (k * 2))
+        ops)
+
+let prop_heap_pop_sorted =
+  QCheck.Test.make ~name:"heap pops in nondecreasing order" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.push h) xs;
+      let rec drain prev =
+        match Heap.pop h with
+        | None -> true
+        | Some x -> x >= prev && drain x
+      in
+      drain min_int)
+
+let prop_rng_int_in_bounds =
+  QCheck.Test.make ~name:"rng int stays in bounds" ~count:500
+    QCheck.(pair small_nat (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let r = Rng.create seed in
+      let v = Rng.int r bound in
+      v >= 0 && v < bound)
+
+let props = [ prop_crc_detects_flip; prop_lru_never_exceeds_cap; prop_lru_find_after_add;
+              prop_heap_pop_sorted; prop_rng_int_in_bounds ]
+
+let suite =
+  [
+    ( "util.bytesx",
+      [
+        Alcotest.test_case "u16 roundtrip" `Quick test_u16_roundtrip;
+        Alcotest.test_case "u32 roundtrip" `Quick test_u32_roundtrip;
+        Alcotest.test_case "i32 negative" `Quick test_i32_negative;
+        Alcotest.test_case "u64 roundtrip" `Quick test_u64_roundtrip;
+        Alcotest.test_case "string field" `Quick test_string_field;
+        Alcotest.test_case "is_zero" `Quick test_is_zero;
+      ] );
+    ( "util.crc32",
+      [
+        Alcotest.test_case "known vectors" `Quick test_crc32_known;
+        Alcotest.test_case "combine" `Quick test_crc32_combine;
+        Alcotest.test_case "byte range" `Quick test_crc32_range;
+      ] );
+    ( "util.lru",
+      [
+        Alcotest.test_case "basic eviction" `Quick test_lru_basic;
+        Alcotest.test_case "on_evict callback" `Quick test_lru_on_evict;
+        Alcotest.test_case "replace" `Quick test_lru_replace;
+        Alcotest.test_case "peek does not promote" `Quick test_lru_peek_no_promote;
+        Alcotest.test_case "pop_lru" `Quick test_lru_pop_lru;
+        Alcotest.test_case "iter order" `Quick test_lru_iter_order;
+        Alcotest.test_case "remove and clear" `Quick test_lru_remove_clear;
+      ] );
+    ( "util.heap",
+      [
+        Alcotest.test_case "sorts" `Quick test_heap_sorts;
+        Alcotest.test_case "peek/length" `Quick test_heap_peek;
+      ] );
+    ( "util.rng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+        Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+      ] );
+    ("util.properties", List.map QCheck_alcotest.to_alcotest props);
+  ]
