@@ -53,12 +53,22 @@ let ffs_params =
     bcache_blocks = 800;
   }
 
+(* Simulated seconds consumed by every [in_sim] run since the last
+   [take_sim_elapsed] — the per-target "simulated elapsed" figure the
+   harness's --json mode reports. *)
+let sim_elapsed = ref 0.0
+let take_sim_elapsed () =
+  let v = !sim_elapsed in
+  sim_elapsed := 0.0;
+  v
+
 (* Run a benchmark body inside a simulation process and return its
    result once the simulation drains. *)
 let in_sim engine f =
   let result = ref None in
   Sim.Engine.spawn engine (fun () -> result := Some (f ()));
   Sim.Engine.run engine;
+  sim_elapsed := !sim_elapsed +. Sim.Engine.now engine;
   match !result with
   | Some r -> r
   | None -> failwith "bench: simulation did not complete"

@@ -4,7 +4,8 @@
 
      dune exec bench/main.exe                  # everything
      dune exec bench/main.exe -- --only table2 # one experiment
-     dune exec bench/main.exe -- --list        # targets *)
+     dune exec bench/main.exe -- --list        # targets
+     dune exec bench/main.exe -- --json f.json # + per-target timings *)
 
 let targets : (string * string * (unit -> unit)) list =
   [
@@ -19,6 +20,7 @@ let targets : (string * string * (unit -> unit)) list =
     ("fig3", "HighLight layout with cached tertiary segment", Figs.run_fig3);
     ("fig4", "block address allocation map", Figs.run_fig4);
     ("fig5", "layered architecture with live counters", Figs.run_fig5);
+    ("pipeline", "serial vs pipelined service/I-O with 2 drives + prefetch", Pipeline.run);
     ("ablate-policy", "STP exponents x cache eviction over a Zipf trace", Ablations.run_policy);
     ("ablate-staging", "immediate vs delayed copy-out (paper 5.4)", Ablations.run_staging);
     ("ablate-segsize", "segment size sweep", Ablations.run_segsize);
@@ -28,27 +30,74 @@ let targets : (string * string * (unit -> unit)) list =
     ("micro", "Bechamel micro-benchmarks of hot paths", Micro.run);
   ]
 
+(* One record per executed target: simulated seconds consumed by its
+   runs, and host wall-clock seconds. Written by --json. *)
+let timings : (string * float * float) list ref = ref []
+
+let run_timed (name, _, run) =
+  ignore (Config.take_sim_elapsed ());
+  let w0 = Unix.gettimeofday () in
+  run ();
+  let wall = Unix.gettimeofday () -. w0 in
+  timings := (name, Config.take_sim_elapsed (), wall) :: !timings
+
+let write_json (file, oc) =
+  Printf.fprintf oc "{\n  \"schema\": \"highlight-bench/v1\",\n  \"targets\": {\n";
+  let rows = List.rev !timings in
+  List.iteri
+    (fun i (name, sim, wall) ->
+      Printf.fprintf oc "    %S: { \"sim_elapsed_s\": %.3f, \"wall_s\": %.3f }%s\n" name sim
+        wall
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  }\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s\n" file
+
+let run_all () =
+  print_endline "HighLight reproduction: regenerating every table and figure.";
+  print_endline "(simulated 1993 testbed; see EXPERIMENTS.md for the calibration notes)";
+  List.iter
+    (fun ((name, _, _) as t) ->
+      if name <> "table6" then begin
+        Printf.printf "\n### %s\n%!" name;
+        run_timed t
+      end)
+    targets
+
+let run_one name =
+  match List.find_opt (fun (n, _, _) -> n = name) targets with
+  | Some t -> run_timed t
+  | None ->
+      Printf.eprintf "unknown target %s; try --list\n" name;
+      exit 1
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  match args with
+  (* peel off --json FILE wherever it appears *)
+  let rec extract_json acc = function
+    | "--json" :: file :: rest -> (Some file, List.rev_append acc rest)
+    | a :: rest -> extract_json (a :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let json, args = extract_json [] args in
+  (* open now so a bad path fails before the benches run, not after *)
+  let json =
+    Option.map
+      (fun file ->
+        match open_out file with
+        | oc -> (file, oc)
+        | exception Sys_error msg ->
+            Printf.eprintf "cannot write %s\n" msg;
+            exit 1)
+      json
+  in
+  (match args with
   | [ "--list" ] ->
       List.iter (fun (name, descr, _) -> Printf.printf "%-16s %s\n" name descr) targets
-  | [ "--only"; name ] -> (
-      match List.find_opt (fun (n, _, _) -> n = name) targets with
-      | Some (_, _, run) -> run ()
-      | None ->
-          Printf.eprintf "unknown target %s; try --list\n" name;
-          exit 1)
-  | [] ->
-      print_endline "HighLight reproduction: regenerating every table and figure.";
-      print_endline "(simulated 1993 testbed; see EXPERIMENTS.md for the calibration notes)";
-      List.iter
-        (fun (name, _, run) ->
-          if name <> "table6" then begin
-            Printf.printf "\n### %s\n%!" name;
-            run ()
-          end)
-        targets
+  | [ "--only"; name ] -> run_one name
+  | [] -> run_all ()
   | _ ->
-      prerr_endline "usage: main.exe [--list | --only <target>]";
-      exit 1
+      prerr_endline "usage: main.exe [--list | --only <target>] [--json <file>]";
+      exit 1);
+  Option.iter write_json json

@@ -24,9 +24,16 @@ let rec tertiary_read st ~blk ~count =
       Seg_cache.pin line;
       Seg_cache.touch st.cache line ~now:(Sim.Engine.now st.engine);
       let data =
-        st.disk.Lfs.Dev.read ~blk:(disk_seg_base st line.Seg_cache.disk_seg + off) ~count
+        match line.Seg_cache.image with
+        | Some image ->
+            (* recently fetched: the segment buffer is still in memory,
+               no need to go back to the cache disk for it *)
+            let bs = st.disk.Lfs.Dev.block_size in
+            Bytes.sub image (off * bs) (count * bs)
+        | None ->
+            st.disk.Lfs.Dev.read ~blk:(disk_seg_base st line.Seg_cache.disk_seg + off) ~count
       in
-      Seg_cache.unpin line;
+      Seg_cache.unpin st.cache line;
       data
   | None ->
       Seg_cache.note_miss st.cache;
@@ -37,7 +44,7 @@ let rec tertiary_read st ~blk ~count =
         Seg_cache.insert st.cache ~tindex ~disk_seg:(-1) ~state:Seg_cache.Fetching
           ~now:(Sim.Engine.now st.engine)
       in
-      Sim.Mailbox.send st.service_mb
+      State.submit st
         (Fetch { line; enqueued = Sim.Engine.now st.engine; is_prefetch = false });
       (* prefetch hints ride behind the demand fetch, asynchronously *)
       List.iter
@@ -52,7 +59,7 @@ let rec tertiary_read st ~blk ~count =
               Seg_cache.insert st.cache ~tindex:tindex' ~disk_seg:(-1)
                 ~state:Seg_cache.Fetching ~now:(Sim.Engine.now st.engine)
             in
-            Sim.Mailbox.send st.service_mb
+            State.submit st
               (Fetch { line = line'; enqueued = Sim.Engine.now st.engine; is_prefetch = true })
           end)
         (st.prefetch tindex);

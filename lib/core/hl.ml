@@ -49,10 +49,11 @@ let hooks st =
               Segusage.clear_dirty st.State.tseg;
               Fs.mark_inode_dirty fsys tf
             end);
+    segments_freed = (fun () -> State.note_progress st);
   }
 
 let mkfs engine prm ~disk ~fp ?cache_segs ?(cache_policy = Seg_cache.Lru)
-    ?(dead_zone_segs = 64) () =
+    ?(dead_zone_segs = 64) ?(io_mode = State.Pipelined) () =
   Param.validate prm;
   if prm.Param.seg_blocks <> Footprint.seg_blocks fp then
     invalid_arg "Hl.mkfs: footprint segment size differs from the file system's";
@@ -82,10 +83,12 @@ let mkfs engine prm ~disk ~fp ?cache_segs ?(cache_policy = Seg_cache.Lru)
   tf.Inode.size <- tseg_file_blocks st * prm.Param.block_size;
   Segusage.mark_all_dirty st.State.tseg;
   Fs.checkpoint fsys;
+  st.State.io_mode <- io_mode;
   let shutdown = Service.spawn st in
   { st; fsys; shutdown; observer = (fun ~inum:_ ~off:_ ~len:_ ~write:_ -> ()) }
 
-let mount engine ~disk ~fp ?cpu ?bcache_blocks ?(cache_policy = Seg_cache.Lru) () =
+let mount engine ~disk ~fp ?cpu ?bcache_blocks ?(cache_policy = Seg_cache.Lru)
+    ?(io_mode = State.Pipelined) () =
   (* peek at the superblock for the tertiary configuration *)
   let sb_block = disk.Dev.read ~blk:Layout.superblock_addr ~count:1 in
   let sb =
@@ -129,6 +132,7 @@ let mount engine ~disk ~fp ?cpu ?bcache_blocks ?(cache_policy = Seg_cache.Lru) (
         ignore
           (Seg_cache.insert st.State.cache ~tindex:e.Segusage.cache_tag ~disk_seg:seg
              ~state:Seg_cache.Resident ~now:(Sim.Engine.now engine)));
+  st.State.io_mode <- io_mode;
   let shutdown = Service.spawn st in
   { st; fsys; shutdown; observer = (fun ~inum:_ ~off:_ ~len:_ ~write:_ -> ()) }
 
@@ -233,6 +237,9 @@ type stats = {
   fetch_wait : float;
   queue_time : float;
   io_disk_time : float;
+  io_tertiary_time : float;
+  io_overlap : float;
+  prefetches_dropped : int;
   footprint_time : float;
   cache_lines : int;
   cache_hits : int;
@@ -255,6 +262,13 @@ let stats t =
     fetch_wait = st.State.fetch_wait;
     queue_time = st.State.queue_time;
     io_disk_time = st.State.io_disk_time;
+    io_tertiary_time = st.State.io_tertiary_time;
+    io_overlap =
+      (* per-phase busy time over the wall time any phase was busy:
+         1.0 = strictly serial, 2.0 = both devices always concurrent *)
+      (let busy = st.State.io_disk_time +. st.State.io_tertiary_time in
+       if st.State.io_union_time > 0.0 then busy /. st.State.io_union_time else 1.0);
+    prefetches_dropped = st.State.prefetches_dropped;
     footprint_time = Footprint.time_in_footprint st.State.fp;
     cache_lines = Seg_cache.length st.State.cache;
     cache_hits = Seg_cache.hits st.State.cache;
@@ -276,6 +290,10 @@ let reset_stats t =
   st.State.fetch_wait <- 0.0;
   st.State.queue_time <- 0.0;
   st.State.io_disk_time <- 0.0;
+  st.State.io_tertiary_time <- 0.0;
+  st.State.io_union_time <- 0.0;
+  st.State.io_busy_since <- Sim.Engine.now st.State.engine;
+  st.State.prefetches_dropped <- 0;
   st.State.blocks_migrated <- 0;
   st.State.bytes_migrated <- 0;
   st.State.segments_staged <- 0;

@@ -27,6 +27,7 @@ val mkfs :
   ?cache_segs:int ->
   ?cache_policy:Seg_cache.policy ->
   ?dead_zone_segs:int ->
+  ?io_mode:State.io_mode ->
   unit ->
   t
 (** Formats the disk farm as a HighLight file system whose tertiary
@@ -35,7 +36,8 @@ val mkfs :
     disk segments), fixed at file-system creation like the paper's
     static split. [dead_zone_segs] (default 64) sizes the invalid
     address range between disk and tertiary space, i.e. the headroom
-    for {!grow_disk}. *)
+    for {!grow_disk}. [io_mode] (default [Pipelined]) selects the
+    service/I-O machinery — see {!Service}. *)
 
 val mount :
   Sim.Engine.t ->
@@ -44,6 +46,7 @@ val mount :
   ?cpu:Lfs.Param.cpu ->
   ?bcache_blocks:int ->
   ?cache_policy:Seg_cache.policy ->
+  ?io_mode:State.io_mode ->
   unit ->
   t
 
@@ -102,6 +105,15 @@ type stats = {
   fetch_wait : float;
   queue_time : float;
   io_disk_time : float;
+  io_tertiary_time : float;
+      (** Busy time of the tertiary (jukebox) transfer phase, the
+          counterpart of [io_disk_time] for the cache disk. *)
+  io_overlap : float;
+      (** (tertiary + disk busy time) / wall time either was busy:
+          1.0 = strictly serial phases, up to 2.0 when both devices run
+          concurrently — the Table 4 "overlapped" figure. *)
+  prefetches_dropped : int;
+      (** Prefetches cancelled because no cache line was available. *)
   footprint_time : float;
   cache_lines : int;
   cache_hits : int;

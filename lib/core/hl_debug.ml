@@ -76,8 +76,8 @@ let render_architecture t =
   add "  service queue: %d waiting   demand fetches: %d   writeouts: %d (rehomed %d)\n"
     (Sim.Mailbox.length st.State.service_mb)
     s.Hl.demand_fetches s.Hl.writeouts s.Hl.rehomes;
-  add "  I/O server: disk %.2fs, footprint %.2fs, queueing %.2fs\n" s.Hl.io_disk_time
-    s.Hl.footprint_time s.Hl.queue_time;
+  add "  I/O workers: disk %.2fs, tertiary %.2fs (overlap %.2fx), queueing %.2fs\n"
+    s.Hl.io_disk_time s.Hl.io_tertiary_time s.Hl.io_overlap s.Hl.queue_time;
   add "  segment cache: %d lines, %d hits / %d misses, %d evictions\n" s.Hl.cache_lines
     s.Hl.cache_hits s.Hl.cache_misses s.Hl.cache_evictions;
   Buffer.contents buf

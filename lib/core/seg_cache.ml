@@ -8,6 +8,10 @@ type line = {
   mutable last_use : float;
   mutable fetched_at : float;
   mutable worthy : bool;
+  mutable image : Bytes.t option;
+      (* the in-memory segment buffer of a recent fetch; block reads are
+         served from it (a copy, no disk pass) while it lives. The
+         service layer bounds how many images stay attached. *)
   ready : Sim.Condvar.t;
 }
 
@@ -21,6 +25,7 @@ type t = {
   mutable n_hits : int;
   mutable n_misses : int;
   mutable n_evictions : int;
+  mutable on_free : unit -> unit;
 }
 
 let create ?(policy = Lru) ?(seed = 1993) ~max_lines () =
@@ -33,7 +38,10 @@ let create ?(policy = Lru) ?(seed = 1993) ~max_lines () =
     n_hits = 0;
     n_misses = 0;
     n_evictions = 0;
+    on_free = (fun () -> ());
   }
+
+let set_on_free t f = t.on_free <- f
 
 let policy t = t.pol
 let set_policy t p = t.pol <- p
@@ -52,6 +60,7 @@ let insert t ~tindex ~disk_seg ~state ~now =
       last_use = now;
       fetched_at = now;
       worthy = false;
+      image = None;
       ready = Sim.Condvar.create ();
     }
   in
@@ -64,9 +73,10 @@ let touch _t line ~now =
 
 let pin line = line.pins <- line.pins + 1
 
-let unpin line =
+let unpin t line =
   if line.pins <= 0 then invalid_arg "Seg_cache.unpin: not pinned";
-  line.pins <- line.pins - 1
+  line.pins <- line.pins - 1;
+  if line.pins = 0 then t.on_free ()
 
 let evictable line =
   line.pins = 0 && (line.state = Resident || line.state = Staged_clean)
@@ -103,7 +113,10 @@ let retag t line tindex =
   line.tindex <- tindex;
   Hashtbl.replace t.table tindex line
 
-let remove t line = Hashtbl.remove t.table line.tindex
+let remove t line =
+  Hashtbl.remove t.table line.tindex;
+  line.image <- None;
+  t.on_free ()
 let iter t f = Hashtbl.iter (fun _ l -> f l) t.table
 let lines t = Hashtbl.fold (fun _ l acc -> l :: acc) t.table []
 

@@ -24,6 +24,11 @@ type line = {
   mutable last_use : float;
   mutable fetched_at : float;
   mutable worthy : bool;  (** re-referenced since fetch *)
+  mutable image : Bytes.t option;
+      (** in-memory segment buffer of a recent fetch: block reads are
+          served from it without a disk pass while it lives (double
+          buffering, paper §6.7); the service layer bounds how many
+          stay attached *)
   ready : Sim.Condvar.t;  (** broadcast when Fetching completes *)
 }
 
@@ -51,7 +56,14 @@ val touch : t -> line -> now:float -> unit
 (** Marks a use (promotes worthiness). *)
 
 val pin : line -> unit
-val unpin : line -> unit
+
+val unpin : t -> line -> unit
+(** Dropping the last pin fires the [on_free] callback. *)
+
+val set_on_free : t -> (unit -> unit) -> unit
+(** Callback invoked whenever a line leaves the directory or loses its
+    last pin — i.e. whenever an allocation waiter may now succeed. The
+    service layer routes this to {!State.t.cache_progress}. *)
 
 val choose_victim : t -> line option
 (** An unpinned, evictable (Resident / Staged_clean) line according to

@@ -13,6 +13,7 @@ let eject st line =
   Seg_cache.remove st.cache line;
   Seg_cache.note_eviction st.cache;
   if line.Seg_cache.disk_seg >= 0 then
+    (* fires the segments_freed hook, waking allocation waiters *)
     Lfs.Fs.release_segment (fs st) line.Seg_cache.disk_seg
 
 let eject_idle st ~keep =
@@ -47,20 +48,23 @@ let try_allocate ?(staging = false) st =
 
 (* Obtain a disk segment to serve as a cache line, ejecting victims when
    the clean pool or the static cache cap is exhausted. [staging] lines
-   (migration) may dig past the cleaner's reserve. *)
+   (migration) may dig past the cleaner's reserve. When everything is
+   pinned or in flight, sleep on [cache_progress] — signalled by
+   evictions, pin releases, segment frees and transfer completions —
+   instead of polling the simulation clock. *)
 let allocate_cache_line ?(staging = false) st =
   let fsys = fs st in
   let cap = Seg_cache.max_lines st.cache in
-  let rec go tries =
-    if tries > 100000 then failwith "Service: no cache line obtainable";
+  let rec go waits =
+    if waits > 100000 then failwith "Service: no cache line obtainable";
     if Seg_cache.length st.cache > cap then begin
       match Seg_cache.choose_victim st.cache with
       | Some victim ->
           eject st victim;
-          go (tries + 1)
+          go waits
       | None ->
-          Sim.Engine.delay 0.005;
-          go (tries + 1)
+          Sim.Condvar.wait st.cache_progress;
+          go (waits + 1)
     end
     else
       match Lfs.Fs.alloc_clean_segment fsys ~for_cache:(not staging) with
@@ -69,19 +73,38 @@ let allocate_cache_line ?(staging = false) st =
           match Seg_cache.choose_victim st.cache with
           | Some victim ->
               eject st victim;
-              go (tries + 1)
+              go waits
           | None ->
               (* everything pinned or staging: wait for progress *)
-              Sim.Engine.delay 0.005;
-              go (tries + 1))
+              Sim.Condvar.wait st.cache_progress;
+              go (waits + 1))
   in
   go 0
 
-(* ---------- the I/O process proper ---------- *)
+(* ---------- transfer phases ---------- *)
 
-type io_request =
-  | Io_fetch of Seg_cache.line * Sim.Condvar.t
-  | Io_writeout of Seg_cache.line * writeout_status ref * Sim.Condvar.t
+(* Every fetch and write-out is two phases on two different devices:
+
+     fetch:     tertiary read  (jukebox drive)  ->  cache-disk write
+     write-out: cache-disk read                 ->  tertiary write
+
+   The phases are instrumented separately so the Table 4 breakdown can
+   also report how much of the busy time was overlapped: [io_*_time] are
+   per-phase busy sums, [io_union_time] is the wall time during which at
+   least one phase was in flight. Overlap factor = busy / union. *)
+
+let phase_begin st =
+  if st.io_active = 0 then st.io_busy_since <- now st;
+  st.io_active <- st.io_active + 1
+
+let phase_end st phase t0 =
+  let dt = now st -. t0 in
+  (match phase with
+  | `Tertiary -> st.io_tertiary_time <- st.io_tertiary_time +. dt
+  | `Disk -> st.io_disk_time <- st.io_disk_time +. dt);
+  st.io_active <- st.io_active - 1;
+  if st.io_active = 0 then
+    st.io_union_time <- st.io_union_time +. (now st -. st.io_busy_since)
 
 (* End-of-medium: the staged segment must move to another volume, which
    changes every block's tertiary address; re-aim the live pointers and
@@ -158,123 +181,471 @@ let pick_source st tindex =
   | Some t -> t
   | None -> ( match candidates with t :: _ -> t | [] -> tindex)
 
-let io_fetch st line =
+type fetch_ctx = { f_line : Seg_cache.line; f_urgent : bool }
+
+type wo_ctx = {
+  w_line : Seg_cache.line;
+  w_status : writeout_status ref;
+  w_done : Sim.Condvar.t;
+}
+
+(* Fetch phase A (tertiary worker): read the segment image from the
+   cheapest copy. *)
+let fetch_read st ctx =
+  let line = ctx.f_line in
   let source = pick_source st line.Seg_cache.tindex in
   Hl_log.Log.debug (fun m ->
       m "fetch tseg %d (from copy %d) -> disk seg %d" line.Seg_cache.tindex source
         line.Seg_cache.disk_seg);
   let vol, seg = Addr_space.vol_seg_of_tindex st.aspace source in
+  let t0 = now st in
+  phase_begin st;
   let image = Footprint.read_seg st.fp ~vol ~seg in
-  let t0 = now st in
-  Block_io.raw_write_cache_line st ~disk_seg:line.Seg_cache.disk_seg image;
-  st.io_disk_time <- st.io_disk_time +. (now st -. t0)
+  phase_end st `Tertiary t0;
+  image
 
-let rec io_writeout st line status =
+(* Readers of a just-fetched segment are served from its in-memory
+   buffer instead of re-reading the cache disk the worker just wrote —
+   single-block reads against a disk whose arm is also landing fetched
+   segments would pay a seek + rotation each. Only the newest
+   [pipeline width] buffers stay attached (the double buffers of §6.7);
+   beyond that the disk copy serves. *)
+let attach_image st line image =
+  line.Seg_cache.image <- Some image;
+  Queue.add line st.image_fifo;
+  let depth = 2 * (max 1 (Footprint.ndrives st.fp) + 1) in
+  while Queue.length st.image_fifo > depth do
+    (Queue.pop st.image_fifo).Seg_cache.image <- None
+  done
+
+(* Fetch phase B (cache-disk worker): land the image in the cache line
+   and publish it. *)
+let fetch_write st ctx image =
+  let line = ctx.f_line in
   let t0 = now st in
-  let image = Block_io.raw_read_cache_line st ~disk_seg:line.Seg_cache.disk_seg in
-  st.io_disk_time <- st.io_disk_time +. (now st -. t0);
+  phase_begin st;
+  Block_io.raw_write_cache_line st ~disk_seg:line.Seg_cache.disk_seg image;
+  phase_end st `Disk t0;
+  attach_image st line image;
+  line.Seg_cache.state <- Seg_cache.Resident;
+  line.Seg_cache.fetched_at <- now st;
+  line.Seg_cache.last_use <- now st;
+  Sim.Condvar.broadcast line.Seg_cache.ready;
+  (* the line is evictable now: wake allocation waiters *)
+  note_progress st;
+  st.on_fetch line.Seg_cache.tindex
+
+(* Write-out phase A (cache-disk worker): lift the staged image off the
+   cache disk. *)
+let writeout_read st ctx =
+  let t0 = now st in
+  phase_begin st;
+  let image = Block_io.raw_read_cache_line st ~disk_seg:ctx.w_line.Seg_cache.disk_seg in
+  phase_end st `Disk t0;
+  image
+
+(* Write-out phase B (tertiary worker): copy to the jukebox, re-homing
+   on end-of-medium. The image is address-free (pointers live in the fs
+   maps), so a re-home can re-use the buffer without re-reading. *)
+let rec writeout_write st ctx image =
+  let line = ctx.w_line in
   let vol, seg = Addr_space.vol_seg_of_tindex st.aspace line.Seg_cache.tindex in
-  match Footprint.write_seg st.fp ~vol ~seg image with
+  let t0 = now st in
+  phase_begin st;
+  let result = Footprint.write_seg st.fp ~vol ~seg image in
+  phase_end st `Tertiary t0;
+  match result with
   | Footprint.Written ->
       line.Seg_cache.state <- Seg_cache.Staged_clean;
       st.writeouts <- st.writeouts + 1;
       (* the manifest existed for end-of-medium re-homing; the copy is
          safe now *)
       Hashtbl.remove st.manifests line.Seg_cache.tindex;
-      (match !status with Rehomed _ -> () | _ -> status := Done)
+      (match !(ctx.w_status) with Rehomed _ -> () | _ -> ctx.w_status := Done);
+      note_progress st;
+      Sim.Condvar.broadcast ctx.w_done
   | Footprint.End_of_medium ->
       Hl_log.Log.info (fun m ->
           m "end of medium: re-homing staged segment (was tseg %d)" line.Seg_cache.tindex);
       rehome st line;
-      status := Rehomed line.Seg_cache.tindex;
-      io_writeout st line status
+      ctx.w_status := Rehomed line.Seg_cache.tindex;
+      writeout_write st ctx image
 
-let spawn st =
+(* ---------- the pipelined worker pool ---------- *)
+
+(* Tertiary-side work queues, one per volume. Demand-fetch reads
+   preempt prefetch reads, which preempt write-out writes; within a
+   class, oldest first (the sequence number). A worker *claims* the
+   volume it serves so a second worker never queues up behind the same
+   drive while another volume's work — and its drive — sit idle; the
+   per-volume write-out queues also mean a worker drains one volume's
+   write-out batch back-to-back, amortizing robot swaps. *)
+type vol_work = {
+  vw_urgent : (int * fetch_ctx) Queue.t;
+  vw_prefetch : (int * fetch_ctx) Queue.t;
+  vw_wo : (wo_ctx * Bytes.t) Queue.t;
+  mutable vw_claimed : bool;
+}
+
+type tert_job =
+  | T_fetch_read of fetch_ctx
+  | T_writeout_write of wo_ctx * Bytes.t
+
+type tertq = {
+  tq_vols : (int, vol_work) Hashtbl.t;
+  mutable tq_seq : int;
+  tq_cv : Sim.Condvar.t;
+}
+
+let tq_create () = { tq_vols = Hashtbl.create 8; tq_seq = 0; tq_cv = Sim.Condvar.create () }
+
+let tq_vol q vol =
+  match Hashtbl.find_opt q.tq_vols vol with
+  | Some vw -> vw
+  | None ->
+      let vw =
+        {
+          vw_urgent = Queue.create ();
+          vw_prefetch = Queue.create ();
+          vw_wo = Queue.create ();
+          vw_claimed = false;
+        }
+      in
+      Hashtbl.replace q.tq_vols vol vw;
+      vw
+
+(* queue under the primary copy's volume; a replica on a loaded volume
+   may still be picked at read time (pick_source), which only makes the
+   job cheaper than its queue slot assumed *)
+let fetch_vol st ctx = fst (Addr_space.vol_seg_of_tindex st.aspace ctx.f_line.Seg_cache.tindex)
+
+let tq_push_fetch st q ctx =
+  let vw = tq_vol q (fetch_vol st ctx) in
+  let seq = q.tq_seq in
+  q.tq_seq <- seq + 1;
+  Queue.add (seq, ctx) (if ctx.f_urgent then vw.vw_urgent else vw.vw_prefetch);
+  Sim.Condvar.broadcast q.tq_cv
+
+let tq_push_writeout st q ctx image =
+  let vol, _ = Addr_space.vol_seg_of_tindex st.aspace ctx.w_line.Seg_cache.tindex in
+  Queue.add (ctx, image) (tq_vol q vol).vw_wo;
+  Sim.Condvar.broadcast q.tq_cv
+
+(* Pick work from an unclaimed volume: any volume's demand fetch beats
+   any prefetch beats any write-out; fetch classes go oldest-first
+   across volumes, write-outs prefer a volume already in a drive and
+   then the deepest batch. Returns the claimed volume with the job. *)
+let tq_take st q =
+  let best_fetch sel =
+    let best = ref None in
+    Hashtbl.iter
+      (fun vol vw ->
+        if not vw.vw_claimed then
+          match Queue.peek_opt (sel vw) with
+          | Some (seq, _) -> (
+              match !best with
+              | Some (s, _) when s <= seq -> ()
+              | _ -> best := Some (seq, vol))
+          | None -> ())
+      q.tq_vols;
+    Option.map
+      (fun (_, vol) ->
+        let vw = Hashtbl.find q.tq_vols vol in
+        (vol, T_fetch_read (snd (Queue.pop (sel vw)))))
+      !best
+  in
+  let best_writeout () =
+    let best = ref None in
+    Hashtbl.iter
+      (fun vol vw ->
+        if (not vw.vw_claimed) && not (Queue.is_empty vw.vw_wo) then begin
+          let score =
+            (if Footprint.volume_loaded st.fp vol then 1_000_000 else 0)
+            + Queue.length vw.vw_wo
+          in
+          match !best with
+          | Some (s, _) when s >= score -> ()
+          | _ -> best := Some (score, vol)
+        end)
+      q.tq_vols;
+    Option.map
+      (fun (_, vol) ->
+        let vw = Hashtbl.find q.tq_vols vol in
+        let ctx, image = Queue.pop vw.vw_wo in
+        (vol, T_writeout_write (ctx, image)))
+      !best
+  in
+  match best_fetch (fun vw -> vw.vw_urgent) with
+  | Some r -> Some r
+  | None -> (
+      match best_fetch (fun vw -> vw.vw_prefetch) with
+      | Some r -> Some r
+      | None -> best_writeout ())
+
+let rec tq_pop st q =
+  if st.stop_service then None
+  else
+    match tq_take st q with
+    | Some (vol, job) ->
+        (tq_vol q vol).vw_claimed <- true;
+        Some (vol, job)
+    | None ->
+        Sim.Condvar.wait q.tq_cv;
+        tq_pop st q
+
+let tq_release q vol =
+  (tq_vol q vol).vw_claimed <- false;
+  (* the volume may hold queued work only this claim was blocking *)
+  Sim.Condvar.broadcast q.tq_cv
+
+(* Cache-disk work queue: completing a demand fetch beats everything
+   else; prefetch landings and write-out reads ride behind. *)
+type disk_job =
+  | D_fetch_write of fetch_ctx * Bytes.t
+  | D_writeout_read of wo_ctx
+
+type diskq = {
+  dq_urgent : disk_job Queue.t;
+  dq_normal : disk_job Queue.t;
+  dq_cv : Sim.Condvar.t;
+}
+
+let dq_create () =
+  { dq_urgent = Queue.create (); dq_normal = Queue.create (); dq_cv = Sim.Condvar.create () }
+
+let dq_push q ~urgent job =
+  (if urgent then Queue.add job q.dq_urgent else Queue.add job q.dq_normal);
+  Sim.Condvar.signal q.dq_cv
+
+let rec dq_pop st q =
+  if st.stop_service then None
+  else if not (Queue.is_empty q.dq_urgent) then Some (Queue.pop q.dq_urgent)
+  else if not (Queue.is_empty q.dq_normal) then Some (Queue.pop q.dq_normal)
+  else begin
+    Sim.Condvar.wait q.dq_cv;
+    dq_pop st q
+  end
+
+(* A prefetch that cannot get a cache line is cancelled rather than
+   queued: speculative work must never pile up in front of the
+   allocator. A reader that piggybacked on the Fetching line re-checks
+   and issues a demand fetch. *)
+let cancel_prefetch st line =
+  Seg_cache.remove st.cache line;
+  st.prefetches_dropped <- st.prefetches_dropped + 1;
+  Sim.Condvar.broadcast line.Seg_cache.ready
+
+(* The pipelined service/I-O machinery (paper §11's "overlapping the
+   phases"): a dispatcher that never blocks on a transfer, one tertiary
+   worker per jukebox drive, and a cache-disk worker. Segment N's
+   cache-disk write overlaps segment N+1's tertiary read because the
+   two phases run in different processes connected by a queue; each
+   in-flight segment owns its buffer, and the number of buffers is
+   bounded by the cache lines the dispatcher can allocate. *)
+let spawn_pipelined st =
+  let tq = tq_create () in
+  let dq = dq_create () in
+  (* tertiary workers: the jukebox model arbitrates drives and the robot,
+     so one worker per drive keeps every drive busy without more policy *)
+  let nworkers = max 1 (Footprint.ndrives st.fp) in
+  for i = 0 to nworkers - 1 do
+    Sim.Engine.spawn st.engine ~name:(Printf.sprintf "hl-io-tert%d" i) (fun () ->
+        let rec loop () =
+          match tq_pop st tq with
+          | None -> ()
+          | Some (vol, T_fetch_read ctx) ->
+              let image = fetch_read st ctx in
+              tq_release tq vol;
+              dq_push dq ~urgent:ctx.f_urgent (D_fetch_write (ctx, image));
+              loop ()
+          | Some (vol, T_writeout_write (ctx, image)) ->
+              writeout_write st ctx image;
+              tq_release tq vol;
+              loop ()
+        in
+        loop ())
+  done;
+  Sim.Engine.spawn st.engine ~name:"hl-io-disk" (fun () ->
+      let rec loop () =
+        match dq_pop st dq with
+        | None -> ()
+        | Some (D_fetch_write (ctx, image)) ->
+            fetch_write st ctx image;
+            loop ()
+        | Some (D_writeout_read ctx) ->
+            writeout_read st ctx |> tq_push_writeout st tq ctx;
+            loop ()
+      in
+      loop ());
+  (* requests whose cache-line allocation failed; retried on progress *)
+  let starved : (Seg_cache.line * float) Queue.t = Queue.create () in
+  let poke_pending = ref false in
+  (* the poker turns cache-progress events into service-queue messages,
+     so the dispatcher has a single block point (Mailbox.recv) and never
+     needs to poll *)
+  Sim.Engine.spawn st.engine ~name:"hl-progress" (fun () ->
+      let rec loop () =
+        Sim.Condvar.wait st.cache_progress;
+        if not st.stop_service then begin
+          if (not (Queue.is_empty starved)) && not !poke_pending then begin
+            poke_pending := true;
+            Sim.Mailbox.send st.service_mb Progress
+          end;
+          loop ()
+        end
+      in
+      loop ());
+  Sim.Engine.spawn st.engine ~name:"hl-service" (fun () ->
+      (* allocate a line and hand the fetch to the tertiary pool; false
+         if no line is obtainable right now *)
+      let dispatch_fetch ~urgent line enqueued =
+        match try_allocate st with
+        | Some seg ->
+            line.Seg_cache.disk_seg <- seg;
+            Lfs.Segusage.set_cache_tag (Lfs.Fs.seguse (fs st)) seg line.Seg_cache.tindex;
+            st.queue_time <- st.queue_time +. (now st -. enqueued);
+            tq_push_fetch st tq { f_line = line; f_urgent = urgent };
+            true
+        | None -> false
+      in
+      let retry_starved () =
+        let rec go () =
+          match Queue.peek_opt starved with
+          | Some (line, enqueued) when dispatch_fetch ~urgent:true line enqueued ->
+              ignore (Queue.pop starved);
+              go ()
+          | _ -> ()
+        in
+        go ()
+      in
+      let rec loop () =
+        (match Sim.Mailbox.recv st.service_mb with
+        | Fetch { line; enqueued; is_prefetch } ->
+            if not (dispatch_fetch ~urgent:(not is_prefetch) line enqueued) then
+              if is_prefetch then cancel_prefetch st line
+              else Queue.add (line, enqueued) starved
+        | Writeout { line; enqueued; status; done_cv } ->
+            st.queue_time <- st.queue_time +. (now st -. enqueued);
+            dq_push dq ~urgent:false
+              (D_writeout_read { w_line = line; w_status = status; w_done = done_cv })
+        | Progress ->
+            poke_pending := false;
+            retry_starved ());
+        if not st.stop_service then loop ()
+      in
+      loop ());
+  fun () ->
+    st.stop_service <- true;
+    (* wake every parked worker so it can exit *)
+    Sim.Condvar.broadcast tq.tq_cv;
+    Sim.Condvar.broadcast dq.dq_cv;
+    Sim.Condvar.broadcast st.cache_progress
+
+(* ---------- the serial baseline ---------- *)
+
+type io_request =
+  | Io_fetch of fetch_ctx * Sim.Condvar.t
+  | Io_writeout of wo_ctx * Sim.Condvar.t
+
+(* The paper's measured configuration: a single I/O process, and a
+   service process that blocks on it one request at a time — the serial
+   read-then-write pipeline whose phases Table 4 breaks down. Kept
+   selectable ([State.io_mode]) as the baseline the pipeline bench
+   compares against. *)
+let spawn_serial st =
   let io_mb : io_request Sim.Mailbox.t = Sim.Mailbox.create () in
   Sim.Engine.spawn st.engine ~name:"hl-io" (fun () ->
       let rec loop () =
         (match Sim.Mailbox.recv io_mb with
-        | Io_fetch (line, cv) ->
-            io_fetch st line;
+        | Io_fetch (ctx, cv) ->
+            let image = fetch_read st ctx in
+            fetch_write st ctx image;
             Sim.Condvar.broadcast cv
-        | Io_writeout (line, status, cv) ->
-            io_writeout st line status;
+        | Io_writeout (ctx, cv) ->
+            let image = writeout_read st ctx in
+            writeout_write st ctx image;
             Sim.Condvar.broadcast cv);
         if not st.stop_service then loop ()
       in
       loop ());
   Sim.Engine.spawn st.engine ~name:"hl-service" (fun () ->
-      (* demand fetches overtake queued prefetches: a reader must never
-         stall behind speculative work *)
-      let pending : request Queue.t = Queue.create () in
+      (* demand fetches and write-outs overtake queued prefetches: a
+         reader must never stall behind speculative work *)
+      let urgent : request Queue.t = Queue.create () in
+      let background : request Queue.t = Queue.create () in
+      let classify r =
+        match r with
+        | Fetch { is_prefetch = true; _ } -> Queue.add r background
+        | Fetch _ | Writeout _ -> Queue.add r urgent
+        | Progress -> ()
+      in
+      let pending () = Queue.length urgent + Queue.length background in
       let refill () =
-        if Queue.is_empty pending then Queue.add (Sim.Mailbox.recv st.service_mb) pending;
+        if pending () = 0 then classify (Sim.Mailbox.recv st.service_mb);
         let rec drain () =
           match Sim.Mailbox.try_recv st.service_mb with
           | Some r ->
-              Queue.add r pending;
+              classify r;
               drain ()
           | None -> ()
         in
         drain ()
       in
       let pick () =
-        let urgent r =
-          match r with Fetch { is_prefetch; _ } -> not is_prefetch | Writeout _ -> true
-        in
-        let all = List.of_seq (Queue.to_seq pending) in
-        Queue.clear pending;
-        match List.partition urgent all with
-        | u :: us, rest ->
-            List.iter (fun r -> Queue.add r pending) (us @ rest);
-            u
-        | [], r :: rest ->
-            List.iter (fun r -> Queue.add r pending) rest;
-            r
-        | [], [] -> assert false
+        if not (Queue.is_empty urgent) then Queue.pop urgent else Queue.pop background
       in
+      (* consecutive allocation failures; once every pending request has
+         had a turn without progress, sleep on the progress condvar
+         (instead of the seed's 5 ms poll loop) *)
+      let failures = ref 0 in
       let rec loop () =
         refill ();
         (match pick () with
         | Fetch { line; enqueued; is_prefetch } as req -> (
-            st.queue_time <- st.queue_time +. (now st -. enqueued);
             (* never block on allocation: pending write-outs are what
                turn Staging lines into evictable ones, and only this
                process dispatches them *)
             match try_allocate st with
             | Some seg ->
+                failures := 0;
+                st.queue_time <- st.queue_time +. (now st -. enqueued);
                 line.Seg_cache.disk_seg <- seg;
                 Lfs.Segusage.set_cache_tag (Lfs.Fs.seguse (fs st)) seg line.Seg_cache.tindex;
                 let cv = Sim.Condvar.create () in
-                Sim.Mailbox.send io_mb (Io_fetch (line, cv));
-                Sim.Condvar.wait cv;
-                line.Seg_cache.state <- Seg_cache.Resident;
-                line.Seg_cache.fetched_at <- now st;
-                line.Seg_cache.last_use <- now st;
-                Sim.Condvar.broadcast line.Seg_cache.ready;
-                st.on_fetch line.Seg_cache.tindex
+                Sim.Mailbox.send io_mb
+                  (Io_fetch ({ f_line = line; f_urgent = not is_prefetch }, cv));
+                Sim.Condvar.wait cv
             | None ->
-                ignore is_prefetch;
-                if Queue.is_empty pending then Sim.Engine.delay 0.005;
-                Queue.add req pending)
+                incr failures;
+                (if is_prefetch then Queue.add req background else Queue.add req urgent);
+                if !failures > pending () then begin
+                  failures := 0;
+                  Sim.Condvar.wait st.cache_progress
+                end)
         | Writeout { line; enqueued; status; done_cv } ->
+            failures := 0;
             st.queue_time <- st.queue_time +. (now st -. enqueued);
             let cv = Sim.Condvar.create () in
-            Sim.Mailbox.send io_mb (Io_writeout (line, status, cv));
-            Sim.Condvar.wait cv;
-            Sim.Condvar.broadcast done_cv);
+            Sim.Mailbox.send io_mb
+              (Io_writeout ({ w_line = line; w_status = status; w_done = done_cv }, cv));
+            Sim.Condvar.wait cv
+        | Progress -> ());
         if not st.stop_service then loop ()
       in
       loop ());
-  fun () -> st.stop_service <- true
+  fun () ->
+    st.stop_service <- true;
+    Sim.Condvar.broadcast st.cache_progress
+
+let spawn st =
+  match st.io_mode with Pipelined -> spawn_pipelined st | Serial -> spawn_serial st
 
 type ticket = { status : writeout_status ref; done_cv : Sim.Condvar.t }
 
 let request_writeout st line =
   let status = ref Pending in
   let done_cv = Sim.Condvar.create () in
-  Sim.Mailbox.send st.service_mb
-    (Writeout { line; enqueued = now st; status; done_cv });
+  submit st (Writeout { line; enqueued = now st; status; done_cv });
   { status; done_cv }
 
 let await ticket =

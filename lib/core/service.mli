@@ -1,11 +1,18 @@
-(** The user-level service process and its child I/O process (paper
-    §6.7). The service process waits for kernel requests (demand fetch,
-    segment write-out), manages cache-line allocation and ejection, and
-    forwards the device work to the I/O process, which talks to the
-    robotic storage through Footprint and to the cache disk through the
-    raw device. Requests are serviced one at a time — the serial
-    read-then-write pipeline whose phases the paper's Table 4 breaks
-    down. *)
+(** The user-level service process and its I/O workers (paper §6.7).
+    The service (dispatcher) process waits for kernel requests (demand
+    fetch, segment write-out), manages cache-line allocation and
+    ejection, and hands the device work to a worker pool: one tertiary
+    worker per jukebox drive plus a cache-disk worker. Each transfer is
+    split into its two device phases (tertiary read → cache-disk write
+    for a fetch; the reverse for a write-out), so segment N's disk write
+    overlaps segment N+1's tertiary read, demand fetches preempt
+    prefetches, and write-outs batch per destination volume to amortize
+    robot swaps. The dispatcher itself never blocks on a transfer.
+
+    [State.io_mode = Serial] instead reproduces the paper's measured
+    configuration — a single I/O process serviced one request at a
+    time — as the baseline the Table 4 "overlapped" column and the
+    pipeline bench compare against. *)
 
 val spawn : State.t -> unit -> unit
 (** Starts the service/I/O machinery; returns a shutdown function (the

@@ -8,6 +8,9 @@ type request =
       status : writeout_status ref;
       done_cv : Sim.Condvar.t;
     }
+  | Progress
+
+type io_mode = Serial | Pipelined
 
 type staged_entry =
   | Staged_block of { sb_inum : int; sb_bkey : Lfs.Bkey.t; sb_taddr : int }
@@ -30,6 +33,16 @@ type t = {
   mutable fetch_wait : float;
   mutable queue_time : float;
   mutable io_disk_time : float;
+  mutable io_tertiary_time : float;
+  mutable io_union_time : float;
+  mutable io_active : int;
+  mutable io_busy_since : float;
+  mutable prefetches_dropped : int;
+  mutable io_mode : io_mode;
+  image_fifo : Seg_cache.line Queue.t;
+      (** fetched lines whose in-memory segment buffer is still attached
+          (FIFO of bounded depth — the "double buffers") *)
+  cache_progress : Sim.Condvar.t;
   mutable stop_service : bool;
   mutable blocks_migrated : int;
   mutable bytes_migrated : int;
@@ -46,6 +59,7 @@ type t = {
 exception Tertiary_full
 
 let create ~engine ~aspace ~disk ~fp ~cache =
+  let st =
   {
     engine;
     aspace;
@@ -65,6 +79,14 @@ let create ~engine ~aspace ~disk ~fp ~cache =
     fetch_wait = 0.0;
     queue_time = 0.0;
     io_disk_time = 0.0;
+    io_tertiary_time = 0.0;
+    io_union_time = 0.0;
+    io_active = 0;
+    io_busy_since = 0.0;
+    prefetches_dropped = 0;
+    io_mode = Pipelined;
+    image_fifo = Queue.create ();
+    cache_progress = Sim.Condvar.create ();
     stop_service = false;
     blocks_migrated = 0;
     bytes_migrated = 0;
@@ -76,6 +98,22 @@ let create ~engine ~aspace ~disk ~fp ~cache =
     avoid_volume = None;
     restrict_volume = None;
   }
+  in
+  (* a pin release or a directory removal can turn a failed cache-line
+     allocation into a successful one: route those events to the same
+     condition variable the allocators sleep on *)
+  Seg_cache.set_on_free cache (fun () -> Sim.Condvar.broadcast st.cache_progress);
+  st
+
+(* Every enqueue also kicks [cache_progress]: the service loop may be
+   sleeping there (waiting for a line to free up) rather than in
+   [Mailbox.recv], and a new request — a write-out in particular — is
+   itself a source of progress. *)
+let submit t req =
+  Sim.Mailbox.send t.service_mb req;
+  Sim.Condvar.broadcast t.cache_progress
+
+let note_progress t = Sim.Condvar.broadcast t.cache_progress
 
 let fs t =
   match t.fs with Some fs -> fs | None -> failwith "HighLight: file system not attached"

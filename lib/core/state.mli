@@ -13,6 +13,16 @@ type request =
       status : writeout_status ref;
       done_cv : Sim.Condvar.t;
     }
+  | Progress
+      (** internal nudge: cache-line progress occurred while fetches were
+          starved for lines; the service loop retries them *)
+
+(** [Serial] reproduces the paper's measured configuration — one I/O
+    process, one request at a time (Table 4's serial read-then-write
+    pipeline). [Pipelined] is the §11 "obvious improvement": a worker
+    per jukebox drive plus a cache-disk worker, with the two phases of
+    every transfer overlapped. *)
+type io_mode = Serial | Pipelined
 
 (** Manifest entries: what was staged into a tertiary segment and at
     which address (used to re-home on end-of-medium). *)
@@ -37,8 +47,26 @@ type t = {
   mutable writeouts : int;
   mutable rehomes : int;
   mutable fetch_wait : float;  (** process time blocked on demand fetches *)
-  mutable queue_time : float;  (** Table 4: request enqueue -> service pickup *)
+  mutable queue_time : float;  (** Table 4: request enqueue -> worker dispatch *)
   mutable io_disk_time : float;  (** Table 4: I/O server raw disk time *)
+  mutable io_tertiary_time : float;
+      (** busy time of the tertiary phase (Footprint transfers issued by
+          the I/O workers) *)
+  mutable io_union_time : float;
+      (** wall time during which >= 1 I/O phase was in flight; the
+          overlap factor is (disk + tertiary) / union *)
+  mutable io_active : int;  (** phases currently in flight *)
+  mutable io_busy_since : float;  (** start of the current busy span *)
+  mutable prefetches_dropped : int;
+      (** speculative fetches cancelled because no cache line was free *)
+  mutable io_mode : io_mode;  (** consulted once, by {!Service.spawn} *)
+  image_fifo : Seg_cache.line Queue.t;
+      (** fetched lines whose in-memory segment buffer is still attached
+          ([Seg_cache.line.image]); {!Service} keeps its depth at the
+          pipeline width — the "double buffers" of §6.7 *)
+  cache_progress : Sim.Condvar.t;
+      (** broadcast whenever a cache line may have become obtainable:
+          eviction, segment release, pin release, transfer completion *)
   mutable stop_service : bool;
   mutable blocks_migrated : int;
   mutable bytes_migrated : int;
@@ -67,6 +95,14 @@ val create :
   fp:Footprint.t ->
   cache:Seg_cache.t ->
   t
+
+val submit : t -> request -> unit
+(** Enqueue a request for the service process and signal
+    [cache_progress] (a new request is itself progress: a write-out can
+    free the line a starved fetch is waiting for). *)
+
+val note_progress : t -> unit
+(** Broadcast [cache_progress]. *)
 
 val fs : t -> Lfs.Fs.t
 (** Raises if called before the file system is attached. *)

@@ -53,6 +53,7 @@ let create ?(rpc_latency = 0.0) ~seg_blocks ~segs_per_volume jukeboxes =
 let seg_blocks t = t.seg_blocks
 let block_size t = t.block_size
 let nvolumes t = t.total_vols
+let ndrives t = List.fold_left (fun acc m -> acc + Jukebox.ndrives m.jb) 0 t.members
 let segs_per_volume t = t.segs_per_volume
 let volume_full t v = t.full.(v)
 

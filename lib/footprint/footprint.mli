@@ -25,6 +25,11 @@ val create : ?rpc_latency:float -> seg_blocks:int -> segs_per_volume:int -> Juke
 val seg_blocks : t -> int
 val block_size : t -> int
 val nvolumes : t -> int
+
+val ndrives : t -> int
+(** Total drives across all member jukeboxes — the natural parallelism
+    of the tertiary side, and the I/O worker-pool width. *)
+
 val segs_per_volume : t -> int
 
 val volume_full : t -> int -> bool

@@ -128,6 +128,7 @@ let clean_segments fs segs =
   (* persist the moves before declaring the victims empty *)
   Fs.checkpoint fs;
   List.iter (fun seg -> Segusage.set_state (Fs.seguse fs) seg Segusage.Clean) segs;
+  Fs.note_segments_freed fs;
   { segments_cleaned = List.length segs; blocks_moved = moved; bytes_moved = moved * bs }
 
 let clean_once fs ?(policy = Cost_benefit) ?(max_segments = 4) () =

@@ -7,6 +7,7 @@ type hooks = {
   account_foreign : addr:int -> int -> unit;
   pre_checkpoint : t -> unit;
   reclaim : unit -> bool;
+  segments_freed : unit -> unit;
 }
 
 and t = {
@@ -41,6 +42,7 @@ let no_hooks =
     account_foreign = (fun ~addr:_ _ -> ());
     pre_checkpoint = ignore;
     reclaim = (fun () -> false);
+    segments_freed = (fun () -> ());
   }
 
 let param t = t.prm
@@ -602,7 +604,10 @@ let alloc_clean_segment t ~for_cache =
 
 let release_segment t seg =
   Segusage.set_state t.seg_usage seg Segusage.Clean;
-  Segusage.set_cache_tag t.seg_usage seg (-1)
+  Segusage.set_cache_tag t.seg_usage seg (-1);
+  t.hooks.segments_freed ()
+
+let note_segments_freed t = t.hooks.segments_freed ()
 
 let write_superblock t =
   t.device.write ~blk:Layout.superblock_addr

@@ -28,6 +28,10 @@ type hooks = {
       (** Called when the log is out of clean segments before giving up:
           return true after freeing at least one (HighLight ejects a
           read-only cache line). *)
+  segments_freed : unit -> unit;
+      (** Fired whenever log segments return to the clean pool
+          ({!release_segment}, a cleaner pass) — processes sleeping on a
+          cache-line allocation use it instead of polling. *)
 }
 
 val no_hooks : hooks
@@ -134,7 +138,12 @@ val alloc_clean_segment : t -> for_cache:bool -> int option
     how a full disk frees itself. *)
 
 val release_segment : t -> int -> unit
-(** Returns a segment to the clean pool. *)
+(** Returns a segment to the clean pool and fires the [segments_freed]
+    hook. *)
+
+val note_segments_freed : t -> unit
+(** Fires the [segments_freed] hook directly — used by the cleaner,
+    which frees segments without going through {!release_segment}. *)
 
 val grow : t -> added_segs:int -> ?new_dev:Dev.t -> unit -> unit
 (** On-line storage addition (paper §6.4): appends [added_segs] fresh

@@ -90,7 +90,7 @@ let test_seg_cache_basics () =
   check Alcotest.bool "missing" true (Seg_cache.find c 8 = None);
   Seg_cache.pin l1;
   check Alcotest.bool "pinned not victim" true (Seg_cache.choose_victim c = None);
-  Seg_cache.unpin l1;
+  Seg_cache.unpin c l1;
   check Alcotest.bool "victim now" true (Seg_cache.choose_victim c = Some l1);
   Seg_cache.remove c l1;
   check Alcotest.bool "gone" true (Seg_cache.find c 7 = None)
