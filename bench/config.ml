@@ -62,13 +62,43 @@ let take_sim_elapsed () =
   sim_elapsed := 0.0;
   v
 
+(* --trace support: every [in_sim] run records into its own tracer (each
+   engine's clock starts at 0) and the runs are concatenated onto one
+   timeline, each offset by the simulated time accumulated before it. *)
+let trace_requested = ref false
+let trace_acc : Sim.Trace.t option ref = ref None
+let trace_offset = ref 0.0
+
+(* Harness-wide metrics (latency percentiles for --json): targets fold
+   their instance's registry in with [harvest_metrics] before tearing
+   the instance down. *)
+let bench_metrics = Sim.Metrics.create ()
+
+let harvest_metrics m =
+  match Sim.Metrics.find_histogram m "service.demand_fetch_latency_s" with
+  | Some h when Sim.Metrics.observations h > 0 ->
+      Sim.Metrics.merge_histogram
+        (Sim.Metrics.histogram bench_metrics "service.demand_fetch_latency_s")
+        h
+  | _ -> ()
+
 (* Run a benchmark body inside a simulation process and return its
    result once the simulation drains. *)
 let in_sim engine f =
+  let tracer = if !trace_requested then Some (Sim.Trace.start engine) else None in
   let result = ref None in
-  Sim.Engine.spawn engine (fun () -> result := Some (f ()));
+  Sim.Engine.spawn engine ~name:"bench-main" (fun () -> result := Some (f ()));
   Sim.Engine.run engine;
-  sim_elapsed := !sim_elapsed +. Sim.Engine.now engine;
+  let elapsed = Sim.Engine.now engine in
+  sim_elapsed := !sim_elapsed +. elapsed;
+  (match tracer with
+  | None -> ()
+  | Some tr ->
+      Sim.Trace.stop ();
+      (match !trace_acc with
+      | None -> trace_acc := Some tr
+      | Some acc -> Sim.Trace.absorb acc ~offset:!trace_offset tr);
+      trace_offset := !trace_offset +. elapsed);
   match !result with
   | Some r -> r
   | None -> failwith "bench: simulation did not complete"

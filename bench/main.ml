@@ -42,7 +42,23 @@ let run_timed (name, _, run) =
   timings := (name, Config.take_sim_elapsed (), wall) :: !timings
 
 let write_json (file, oc) =
-  Printf.fprintf oc "{\n  \"schema\": \"highlight-bench/v1\",\n  \"targets\": {\n";
+  Printf.fprintf oc "{\n  \"schema\": \"highlight-bench/v1\",\n";
+  (* demand-fetch latency percentiles, folded across every target that
+     harvested its instance's registry (see Config.harvest_metrics) *)
+  let n, p50, p95, p99 =
+    match Sim.Metrics.find_histogram Config.bench_metrics "service.demand_fetch_latency_s" with
+    | Some h when Sim.Metrics.observations h > 0 ->
+        ( Sim.Metrics.observations h,
+          Sim.Metrics.percentile h 0.5,
+          Sim.Metrics.percentile h 0.95,
+          Sim.Metrics.percentile h 0.99 )
+    | _ -> (0, 0.0, 0.0, 0.0)
+  in
+  Printf.fprintf oc
+    "  \"demand_fetch_latency_s\": { \"count\": %d, \"p50\": %.6f, \"p95\": %.6f, \"p99\": \
+     %.6f },\n"
+    n p50 p95 p99;
+  Printf.fprintf oc "  \"targets\": {\n";
   let rows = List.rev !timings in
   List.iteri
     (fun i (name, sim, wall) ->
@@ -74,13 +90,15 @@ let run_one name =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  (* peel off --json FILE wherever it appears *)
-  let rec extract_json acc = function
-    | "--json" :: file :: rest -> (Some file, List.rev_append acc rest)
-    | a :: rest -> extract_json (a :: acc) rest
+  (* peel off --json FILE / --trace FILE wherever they appear *)
+  let rec extract flag acc = function
+    | f :: file :: rest when f = flag -> (Some file, List.rev_append acc rest)
+    | a :: rest -> extract flag (a :: acc) rest
     | [] -> (None, List.rev acc)
   in
-  let json, args = extract_json [] args in
+  let json, args = extract "--json" [] args in
+  let trace, args = extract "--trace" [] args in
+  if trace <> None then Config.trace_requested := true;
   (* open now so a bad path fails before the benches run, not after *)
   let json =
     Option.map
@@ -98,6 +116,15 @@ let () =
   | [ "--only"; name ] -> run_one name
   | [] -> run_all ()
   | _ ->
-      prerr_endline "usage: main.exe [--list | --only <target>] [--json <file>]";
+      prerr_endline
+        "usage: main.exe [--list | --only <target>] [--json <file>] [--trace <file>]";
       exit 1);
-  Option.iter write_json json
+  Option.iter write_json json;
+  Option.iter
+    (fun file ->
+      match !Config.trace_acc with
+      | Some tr ->
+          Sim.Trace.write_file tr file;
+          Printf.printf "wrote %s (%d trace events)\n" file (Sim.Trace.event_count tr)
+      | None -> prerr_endline "no trace captured (no target ran a simulation)")
+    trace

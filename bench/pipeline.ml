@@ -83,6 +83,8 @@ let run_mode io_mode =
       done;
       let elapsed = Sim.Engine.now engine -. t0 in
       let s = Highlight.Hl.stats hl in
+      Config.harvest_metrics (Highlight.Hl.metrics hl);
+      Highlight.Hl.shutdown_service hl;
       {
         elapsed;
         ok = !ok;

@@ -58,16 +58,21 @@ let hl_times ~eject () =
       (* the tertiary volume is already in a drive when the tests begin,
          as in the paper; small files share tertiary segments, so the
          whole set is ejected again before each measurement *)
-      List.map2
-        (fun path (label, size) ->
-          if eject then Highlight.Hl.eject_tertiary_copies hl ~paths;
-          Fs.drop_caches fs;
-          let ino = Dir.namei fs path in
-          let r =
-            buffered_read engine (fun ~off ~len -> ignore (File.read fs ino ~off ~len)) size
-          in
-          (label, r))
-        paths sizes)
+      let rows =
+        List.map2
+          (fun path (label, size) ->
+            if eject then Highlight.Hl.eject_tertiary_copies hl ~paths;
+            Fs.drop_caches fs;
+            let ino = Dir.namei fs path in
+            let r =
+              buffered_read engine (fun ~off ~len -> ignore (File.read fs ino ~off ~len)) size
+            in
+            (label, r))
+          paths sizes
+      in
+      Config.harvest_metrics (Highlight.Hl.metrics hl);
+      Highlight.Hl.shutdown_service hl;
+      rows)
 
 let run () =
   let ffs = ffs_times () in

@@ -14,8 +14,15 @@ open Lfs
 let in_sim f =
   let engine = Sim.Engine.create () in
   let result = ref None in
-  Sim.Engine.spawn engine (fun () -> result := Some (f engine));
+  Sim.Engine.spawn engine ~name:"hlctl-main" (fun () -> result := Some (f engine));
   Sim.Engine.run engine;
+  (* a healthy scenario shuts its service processes down; anything still
+     parked here is a deadlock (or a missing shutdown), so name names *)
+  (match Sim.Engine.blocked_process_names engine with
+  | [] -> ()
+  | names ->
+      Printf.eprintf "warning: %d process(es) still blocked at end of simulation: %s\n"
+        (List.length names) (String.concat ", " names));
   match !result with Some r -> r | None -> failwith "simulation did not complete"
 
 let build_world engine ~nsegs ~nvolumes ~seg_blocks ~media =
@@ -84,12 +91,15 @@ let layout nsegs nvolumes seg_blocks =
       print_string (Highlight.Hl_debug.render_layout hl);
       print_newline ();
       print_string (Highlight.Hl_debug.render_architecture hl);
+      Highlight.Hl.shutdown_service hl;
       0)
 
 (* ---- simulate ---- *)
 
-let simulate nsegs nvolumes seg_blocks media files file_kb policy verbose =
+let simulate nsegs nvolumes seg_blocks media files file_kb policy verbose trace_file
+    metrics_file =
   in_sim (fun engine ->
+      let tracer = Option.map (fun _ -> Sim.Trace.start engine) trace_file in
       let hl = build_world engine ~nsegs ~nvolumes ~seg_blocks ~media in
       let fs = Highlight.Hl.fs hl in
       let st = Highlight.Hl.state hl in
@@ -125,9 +135,25 @@ let simulate nsegs nvolumes seg_blocks media files file_kb policy verbose =
             exit 1
       in
       ignore (Cleaner.clean_until fs ~target_clean:(nsegs / 2) ());
-      (* touch a random archived file to show the fetch path *)
+      (* touch an archived file to show the fetch path: prefer one whose
+         blocks really migrated, and drop its cached copies first so the
+         read is a genuine demand fetch from the jukebox *)
       Bcache.invalidate_clean (Fs.bcache fs);
-      let victim = Printf.sprintf "/data/f%04d" (Util.Rng.int rng files) in
+      let on_tertiary i =
+        match Dir.namei_opt fs (Printf.sprintf "/data/f%04d" i) with
+        | None -> false
+        | Some ino ->
+            let found = ref false in
+            File.iter_assigned_blocks fs ino (fun _ addr ->
+                if Highlight.Addr_space.is_tertiary st.Highlight.State.aspace addr then
+                  found := true);
+            !found
+      in
+      let rec hunt i =
+        if i >= files then Util.Rng.int rng files else if on_tertiary i then i else hunt (i + 1)
+      in
+      let victim = Printf.sprintf "/data/f%04d" (hunt 0) in
+      Highlight.Hl.eject_tertiary_copies hl ~paths:[ victim ];
       let t0 = Sim.Engine.now engine in
       ignore (Highlight.Hl.read_file hl victim ());
       let fetch_time = Sim.Engine.now engine -. t0 in
@@ -145,6 +171,19 @@ let simulate nsegs nvolumes seg_blocks media files file_kb policy verbose =
         print_newline ();
         print_string (Highlight.Hl_debug.render_hierarchy hl)
       end;
+      Highlight.Hl.shutdown_service hl;
+      Option.iter
+        (fun path ->
+          Sim.Trace.stop ();
+          let tr = Option.get tracer in
+          Sim.Trace.write_file tr path;
+          Printf.printf "trace: %d events -> %s\n" (Sim.Trace.event_count tr) path)
+        trace_file;
+      Option.iter
+        (fun path ->
+          Sim.Metrics.write_file (Highlight.Hl.metrics hl) path;
+          Printf.printf "metrics -> %s\n" path)
+        metrics_file;
       match Highlight.Hl.check hl with
       | [] ->
           print_endline "hierarchy invariants: ok";
@@ -171,6 +210,7 @@ let fsck nsegs nvolumes seg_blocks =
           try Dir.unlink fs path with Not_found | Dir.Not_dir _ -> ()
       done;
       Fs.checkpoint fs;
+      Highlight.Hl.shutdown_service hl;
       match Highlight.Hl.check hl @ Debug.fsck fs with
       | [] ->
           print_endline "fsck: clean after churn/migrate/unlink rounds";
@@ -206,6 +246,7 @@ let grow nsegs nvolumes seg_blocks added =
       Printf.printf "after:  %d segments (%d clean); dead zone shrank accordingly\n"
         (Fs.param fs).Param.nsegs (Fs.nclean fs);
       print_string (Highlight.Hl_debug.render_address_map hl);
+      Highlight.Hl.shutdown_service hl;
       match Highlight.Hl.check hl with
       | [] -> print_endline "invariants: ok"; 0
       | probs -> List.iter print_endline probs; 1)
@@ -228,6 +269,16 @@ let policy_t =
   Arg.(value & opt string "stp" & info [ "policy" ] ~doc:"Migration policy (stp|namespace|none).")
 
 let verbose_t = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Render the hierarchy.")
+
+let trace_t =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace-event JSON of the run (open in Perfetto).")
+
+let metrics_t =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Write the metrics registry (counters, gauges, latency percentiles) as JSON.")
 
 (* --log enables the library's Logs source on stderr *)
 let setup_logs level =
@@ -258,11 +309,11 @@ let () =
               Term.(const (fun lvl a b c -> setup_logs lvl; layout a b c)
                     $ log_t $ nsegs_t $ nvols_t $ segblocks_t);
             Cmd.v (Cmd.info "simulate" ~doc:"Run a write/migrate/fetch scenario")
-              Term.(const (fun lvl a b c d e f g h ->
+              Term.(const (fun lvl a b c d e f g h i j ->
                         setup_logs lvl;
-                        simulate a b c d e f g h)
+                        simulate a b c d e f g h i j)
                     $ log_t $ nsegs_t $ nvols_t $ segblocks_t $ media_t $ files_t $ filekb_t
-                    $ policy_t $ verbose_t);
+                    $ policy_t $ verbose_t $ trace_t $ metrics_t);
             Cmd.v (Cmd.info "grow" ~doc:"Demonstrate on-line disk addition (dead-zone claiming)")
               Term.(const (fun lvl a b c d -> setup_logs lvl; grow a b c d)
                     $ log_t $ nsegs_t $ nvols_t $ segblocks_t

@@ -15,12 +15,16 @@ let rec tertiary_read st ~blk ~count =
     invalid_arg "Block_io: tertiary read crosses a segment boundary";
   match Seg_cache.find st.cache tindex with
   | Some line when line.Seg_cache.state = Seg_cache.Fetching ->
+      (* somebody else's fetch is in flight: ride along *)
       let t0 = Sim.Engine.now st.engine in
       Sim.Condvar.wait line.Seg_cache.ready;
-      st.fetch_wait <- st.fetch_wait +. (Sim.Engine.now st.engine -. t0);
+      let waited = Sim.Engine.now st.engine -. t0 in
+      st.fetch_wait <- st.fetch_wait +. waited;
+      Sim.Metrics.observe (Sim.Metrics.histogram st.metrics "cache.pin_wait_s") waited;
       tertiary_read st ~blk ~count
   | Some line ->
       Seg_cache.note_hit st.cache;
+      Sim.Metrics.incr (Sim.Metrics.counter st.metrics "cache.hits");
       Seg_cache.pin line;
       Seg_cache.touch st.cache line ~now:(Sim.Engine.now st.engine);
       let data =
@@ -37,6 +41,7 @@ let rec tertiary_read st ~blk ~count =
       data
   | None ->
       Seg_cache.note_miss st.cache;
+      Sim.Metrics.incr (Sim.Metrics.counter st.metrics "cache.misses");
       st.demand_fetches <- st.demand_fetches + 1;
       (* tell the notification agent the caller is in for a wait *)
       st.on_fetch_start tindex;
@@ -44,6 +49,9 @@ let rec tertiary_read st ~blk ~count =
         Seg_cache.insert st.cache ~tindex ~disk_seg:(-1) ~state:Seg_cache.Fetching
           ~now:(Sim.Engine.now st.engine)
       in
+      line.Seg_cache.span_id <-
+        Sim.Trace.async_begin ~track:"service" ~cat:"lifecycle" "demand-fetch"
+          ~args:[ ("tindex", string_of_int tindex) ];
       State.submit st
         (Fetch { line; enqueued = Sim.Engine.now st.engine; is_prefetch = false });
       (* prefetch hints ride behind the demand fetch, asynchronously *)
@@ -59,13 +67,20 @@ let rec tertiary_read st ~blk ~count =
               Seg_cache.insert st.cache ~tindex:tindex' ~disk_seg:(-1)
                 ~state:Seg_cache.Fetching ~now:(Sim.Engine.now st.engine)
             in
+            line'.Seg_cache.span_id <-
+              Sim.Trace.async_begin ~track:"service" ~cat:"lifecycle" "prefetch"
+                ~args:[ ("tindex", string_of_int tindex') ];
             State.submit st
               (Fetch { line = line'; enqueued = Sim.Engine.now st.engine; is_prefetch = true })
           end)
         (st.prefetch tindex);
       let t0 = Sim.Engine.now st.engine in
       Sim.Condvar.wait line.Seg_cache.ready;
-      st.fetch_wait <- st.fetch_wait +. (Sim.Engine.now st.engine -. t0);
+      let waited = Sim.Engine.now st.engine -. t0 in
+      st.fetch_wait <- st.fetch_wait +. waited;
+      Sim.Metrics.observe
+        (Sim.Metrics.histogram st.metrics "service.demand_fetch_latency_s")
+        waited;
       tertiary_read st ~blk ~count
 
 let read_block_any st addr =

@@ -11,6 +11,8 @@ let fs t = t.fsys
 let state t = t.st
 let engine t = t.st.State.engine
 let cache t = t.st.State.cache
+let metrics t = t.st.State.metrics
+let shutdown_service t = t.shutdown ()
 
 let tseg_file_blocks st =
   Segusage.nblocks ~nsegs:(Addr_space.ntsegs st.State.aspace)
@@ -251,10 +253,18 @@ type stats = {
   inodes_migrated : int;
   tertiary_live_bytes : int;
   tertiary_segments_used : int;
+  fetch_latency_p50 : float;
+  fetch_latency_p95 : float;
+  fetch_latency_p99 : float;
 }
 
 let stats t =
   let st = t.st in
+  let fetch_pct q =
+    match Sim.Metrics.find_histogram st.State.metrics "service.demand_fetch_latency_s" with
+    | Some h -> Sim.Metrics.percentile h q
+    | None -> 0.0
+  in
   {
     demand_fetches = st.State.demand_fetches;
     writeouts = st.State.writeouts;
@@ -280,6 +290,9 @@ let stats t =
     inodes_migrated = st.State.inodes_migrated;
     tertiary_live_bytes = State.tertiary_live_bytes st;
     tertiary_segments_used = State.tertiary_segments_used st;
+    fetch_latency_p50 = fetch_pct 0.5;
+    fetch_latency_p95 = fetch_pct 0.95;
+    fetch_latency_p99 = fetch_pct 0.99;
   }
 
 let reset_stats t =
@@ -298,6 +311,7 @@ let reset_stats t =
   st.State.bytes_migrated <- 0;
   st.State.segments_staged <- 0;
   st.State.inodes_migrated <- 0;
+  Sim.Metrics.reset st.State.metrics;
   Footprint.reset_stats st.State.fp
 
 let check t =

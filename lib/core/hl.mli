@@ -63,6 +63,16 @@ val state : t -> State.t
 val engine : t -> Sim.Engine.t
 val cache : t -> Seg_cache.t
 
+val metrics : t -> Sim.Metrics.t
+(** The instance-wide metrics registry (counters, gauges, latency
+    histograms); export with {!Sim.Metrics.to_json}. *)
+
+val shutdown_service : t -> unit
+(** Stops the service/I-O processes and drains their block points, so a
+    quiesced instance leaves no process parked (useful before checking
+    {!Sim.Engine.blocked_process_names}). Idempotent; {!unmount} calls
+    it too. *)
+
 val grow_disk : t -> added_segs:int -> ?new_disk:Lfs.Dev.t -> unit -> unit
 (** On-line disk addition (paper §6.3/§6.4): the new log segments claim
     part of the address-space dead zone; the ifile tables are extended
@@ -125,6 +135,12 @@ type stats = {
   inodes_migrated : int;
   tertiary_live_bytes : int;
   tertiary_segments_used : int;
+  fetch_latency_p50 : float;
+  fetch_latency_p95 : float;
+  fetch_latency_p99 : float;
+      (** Demand-fetch wait percentiles, from the
+          ["service.demand_fetch_latency_s"] histogram (0 when no demand
+          fetch has completed since the last reset). *)
 }
 
 val stats : t -> stats

@@ -48,6 +48,9 @@ let finfos_of fsys blocks =
 (* Stage one tertiary segment's worth of blocks (plus, optionally, the
    inodes of [inode_set]) and queue it for copy-out. *)
 let stage_segment ?(defer = false) st ~inode_set blocks =
+  Sim.Trace.span ~track:"migrator" ~cat:"migrator" "stage-segment"
+    ~args:[ ("blocks", string_of_int (List.length blocks)) ]
+  @@ fun () ->
   let fsys = fs st in
   let bs = (Fs.param fsys).Param.block_size in
   let sgb = seg_blocks st in
@@ -164,6 +167,9 @@ let stage_segment ?(defer = false) st ~inode_set blocks =
   st.blocks_migrated <- st.blocks_migrated + List.length live;
   st.bytes_migrated <- st.bytes_migrated + (List.length live * bs);
   st.segments_staged <- st.segments_staged + 1;
+  Sim.Metrics.incr (Sim.Metrics.counter st.metrics "migrator.segments_staged");
+  Sim.Metrics.incr ~by:(List.length live)
+    (Sim.Metrics.counter st.metrics "migrator.blocks_migrated");
   (* queue the copy-out right away so the I/O server can drain staging
      lines while later segments assemble (and so staging can never
      exhaust the cache-line pool waiting for itself); the delayed-write

@@ -13,6 +13,9 @@ type line = {
          served from it (a copy, no disk pass) while it lives. The
          service layer bounds how many images stay attached. *)
   ready : Sim.Condvar.t;
+  mutable span_id : int;
+      (* async-span id of the in-flight fetch/write-out lifecycle
+         ([Sim.Trace.async_begin]); -1 when no span is open *)
 }
 
 type policy = Lru | Random_evict | Least_worthy
@@ -62,6 +65,7 @@ let insert t ~tindex ~disk_seg ~state ~now =
       worthy = false;
       image = None;
       ready = Sim.Condvar.create ();
+      span_id = -1;
     }
   in
   Hashtbl.replace t.table tindex line;

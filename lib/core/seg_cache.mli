@@ -30,6 +30,9 @@ type line = {
           buffering, paper §6.7); the service layer bounds how many
           stay attached *)
   ready : Sim.Condvar.t;  (** broadcast when Fetching completes *)
+  mutable span_id : int;
+      (** async-span id of the in-flight fetch/write-out lifecycle
+          ({!Sim.Trace.async_begin}); -1 when no span is open *)
 }
 
 type policy = Lru | Random_evict | Least_worthy

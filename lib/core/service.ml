@@ -12,6 +12,9 @@ let eject st line =
       m "eject cache line: tseg %d (disk seg %d)" line.Seg_cache.tindex line.Seg_cache.disk_seg);
   Seg_cache.remove st.cache line;
   Seg_cache.note_eviction st.cache;
+  Sim.Metrics.incr (Sim.Metrics.counter st.metrics "cache.evictions");
+  Sim.Trace.instant ~track:"service" ~cat:"cache" "evict"
+    ~args:[ ("tindex", string_of_int line.Seg_cache.tindex) ];
   if line.Seg_cache.disk_seg >= 0 then
     (* fires the segments_freed hook, waking allocation waiters *)
     Lfs.Fs.release_segment (fs st) line.Seg_cache.disk_seg
@@ -100,8 +103,12 @@ let phase_begin st =
 let phase_end st phase t0 =
   let dt = now st -. t0 in
   (match phase with
-  | `Tertiary -> st.io_tertiary_time <- st.io_tertiary_time +. dt
-  | `Disk -> st.io_disk_time <- st.io_disk_time +. dt);
+  | `Tertiary ->
+      st.io_tertiary_time <- st.io_tertiary_time +. dt;
+      Sim.Metrics.observe (Sim.Metrics.histogram st.metrics "io.tertiary_phase_s") dt
+  | `Disk ->
+      st.io_disk_time <- st.io_disk_time +. dt;
+      Sim.Metrics.observe (Sim.Metrics.histogram st.metrics "io.disk_phase_s") dt);
   st.io_active <- st.io_active - 1;
   if st.io_active = 0 then
     st.io_union_time <- st.io_union_time +. (now st -. st.io_busy_since)
@@ -198,9 +205,14 @@ let fetch_read st ctx =
       m "fetch tseg %d (from copy %d) -> disk seg %d" line.Seg_cache.tindex source
         line.Seg_cache.disk_seg);
   let vol, seg = Addr_space.vol_seg_of_tindex st.aspace source in
+  Sim.Trace.async_instant line.Seg_cache.span_id ~args:[ ("phase", "tertiary-read") ];
   let t0 = now st in
   phase_begin st;
-  let image = Footprint.read_seg st.fp ~vol ~seg in
+  let image =
+    Sim.Trace.span ~cat:"service" "fetch:tertiary-read"
+      ~args:[ ("tindex", string_of_int line.Seg_cache.tindex); ("vol", string_of_int vol) ]
+      (fun () -> Footprint.read_seg st.fp ~vol ~seg)
+  in
   phase_end st `Tertiary t0;
   image
 
@@ -224,12 +236,16 @@ let fetch_write st ctx image =
   let line = ctx.f_line in
   let t0 = now st in
   phase_begin st;
-  Block_io.raw_write_cache_line st ~disk_seg:line.Seg_cache.disk_seg image;
+  Sim.Trace.span ~cat:"service" "fetch:disk-write"
+    ~args:[ ("tindex", string_of_int line.Seg_cache.tindex) ]
+    (fun () -> Block_io.raw_write_cache_line st ~disk_seg:line.Seg_cache.disk_seg image);
   phase_end st `Disk t0;
   attach_image st line image;
   line.Seg_cache.state <- Seg_cache.Resident;
   line.Seg_cache.fetched_at <- now st;
   line.Seg_cache.last_use <- now st;
+  Sim.Trace.async_end ~track:"service" line.Seg_cache.span_id;
+  line.Seg_cache.span_id <- -1;
   Sim.Condvar.broadcast line.Seg_cache.ready;
   (* the line is evictable now: wake allocation waiters *)
   note_progress st;
@@ -238,9 +254,14 @@ let fetch_write st ctx image =
 (* Write-out phase A (cache-disk worker): lift the staged image off the
    cache disk. *)
 let writeout_read st ctx =
+  Sim.Trace.async_instant ctx.w_line.Seg_cache.span_id ~args:[ ("phase", "disk-read") ];
   let t0 = now st in
   phase_begin st;
-  let image = Block_io.raw_read_cache_line st ~disk_seg:ctx.w_line.Seg_cache.disk_seg in
+  let image =
+    Sim.Trace.span ~cat:"service" "writeout:disk-read"
+      ~args:[ ("tindex", string_of_int ctx.w_line.Seg_cache.tindex) ]
+      (fun () -> Block_io.raw_read_cache_line st ~disk_seg:ctx.w_line.Seg_cache.disk_seg)
+  in
   phase_end st `Disk t0;
   image
 
@@ -252,7 +273,11 @@ let rec writeout_write st ctx image =
   let vol, seg = Addr_space.vol_seg_of_tindex st.aspace line.Seg_cache.tindex in
   let t0 = now st in
   phase_begin st;
-  let result = Footprint.write_seg st.fp ~vol ~seg image in
+  let result =
+    Sim.Trace.span ~cat:"service" "writeout:tertiary-write"
+      ~args:[ ("tindex", string_of_int line.Seg_cache.tindex); ("vol", string_of_int vol) ]
+      (fun () -> Footprint.write_seg st.fp ~vol ~seg image)
+  in
   phase_end st `Tertiary t0;
   match result with
   | Footprint.Written ->
@@ -262,12 +287,16 @@ let rec writeout_write st ctx image =
          safe now *)
       Hashtbl.remove st.manifests line.Seg_cache.tindex;
       (match !(ctx.w_status) with Rehomed _ -> () | _ -> ctx.w_status := Done);
+      Sim.Trace.async_end ~track:"service" line.Seg_cache.span_id;
+      line.Seg_cache.span_id <- -1;
       note_progress st;
       Sim.Condvar.broadcast ctx.w_done
   | Footprint.End_of_medium ->
       Hl_log.Log.info (fun m ->
           m "end of medium: re-homing staged segment (was tseg %d)" line.Seg_cache.tindex);
       rehome st line;
+      Sim.Trace.async_instant line.Seg_cache.span_id
+        ~args:[ ("phase", "rehome"); ("new_tindex", string_of_int line.Seg_cache.tindex) ];
       ctx.w_status := Rehomed line.Seg_cache.tindex;
       writeout_write st ctx image
 
@@ -319,16 +348,30 @@ let tq_vol q vol =
    job cheaper than its queue slot assumed *)
 let fetch_vol st ctx = fst (Addr_space.vol_seg_of_tindex st.aspace ctx.f_line.Seg_cache.tindex)
 
+(* Per-volume queue depth, sampled at every push and pop: a gauge (with
+   high-water mark) in the registry and a counter series in the trace. *)
+let tq_note_depth st q vol =
+  let vw = tq_vol q vol in
+  let depth =
+    Queue.length vw.vw_urgent + Queue.length vw.vw_prefetch + Queue.length vw.vw_wo
+  in
+  let name = Printf.sprintf "tertq.vol%d.depth" vol in
+  Sim.Metrics.set (Sim.Metrics.gauge st.metrics name) (float_of_int depth);
+  Sim.Trace.counter ~track:"tertq" ~cat:"service" name (float_of_int depth)
+
 let tq_push_fetch st q ctx =
-  let vw = tq_vol q (fetch_vol st ctx) in
+  let vol = fetch_vol st ctx in
+  let vw = tq_vol q vol in
   let seq = q.tq_seq in
   q.tq_seq <- seq + 1;
   Queue.add (seq, ctx) (if ctx.f_urgent then vw.vw_urgent else vw.vw_prefetch);
+  tq_note_depth st q vol;
   Sim.Condvar.broadcast q.tq_cv
 
 let tq_push_writeout st q ctx image =
   let vol, _ = Addr_space.vol_seg_of_tindex st.aspace ctx.w_line.Seg_cache.tindex in
   Queue.add (ctx, image) (tq_vol q vol).vw_wo;
+  tq_note_depth st q vol;
   Sim.Condvar.broadcast q.tq_cv
 
 (* Pick work from an unclaimed volume: any volume's demand fetch beats
@@ -388,6 +431,7 @@ let rec tq_pop st q =
     match tq_take st q with
     | Some (vol, job) ->
         (tq_vol q vol).vw_claimed <- true;
+        tq_note_depth st q vol;
         Some (vol, job)
     | None ->
         Sim.Condvar.wait q.tq_cv;
@@ -413,18 +457,31 @@ type diskq = {
 let dq_create () =
   { dq_urgent = Queue.create (); dq_normal = Queue.create (); dq_cv = Sim.Condvar.create () }
 
-let dq_push q ~urgent job =
+let dq_note_depth st q =
+  let depth = Queue.length q.dq_urgent + Queue.length q.dq_normal in
+  Sim.Metrics.set (Sim.Metrics.gauge st.metrics "diskq.depth") (float_of_int depth);
+  Sim.Trace.counter ~track:"diskq" ~cat:"service" "diskq.depth" (float_of_int depth)
+
+let dq_push st q ~urgent job =
   (if urgent then Queue.add job q.dq_urgent else Queue.add job q.dq_normal);
+  dq_note_depth st q;
   Sim.Condvar.signal q.dq_cv
 
 let rec dq_pop st q =
   if st.stop_service then None
-  else if not (Queue.is_empty q.dq_urgent) then Some (Queue.pop q.dq_urgent)
-  else if not (Queue.is_empty q.dq_normal) then Some (Queue.pop q.dq_normal)
-  else begin
-    Sim.Condvar.wait q.dq_cv;
-    dq_pop st q
-  end
+  else
+    match Queue.take_opt q.dq_urgent with
+    | Some job ->
+        dq_note_depth st q;
+        Some job
+    | None -> (
+        match Queue.take_opt q.dq_normal with
+        | Some job ->
+            dq_note_depth st q;
+            Some job
+        | None ->
+            Sim.Condvar.wait q.dq_cv;
+            dq_pop st q)
 
 (* A prefetch that cannot get a cache line is cancelled rather than
    queued: speculative work must never pile up in front of the
@@ -456,7 +513,7 @@ let spawn_pipelined st =
           | Some (vol, T_fetch_read ctx) ->
               let image = fetch_read st ctx in
               tq_release tq vol;
-              dq_push dq ~urgent:ctx.f_urgent (D_fetch_write (ctx, image));
+              dq_push st dq ~urgent:ctx.f_urgent (D_fetch_write (ctx, image));
               loop ()
           | Some (vol, T_writeout_write (ctx, image)) ->
               writeout_write st ctx image;
@@ -504,6 +561,7 @@ let spawn_pipelined st =
             line.Seg_cache.disk_seg <- seg;
             Lfs.Segusage.set_cache_tag (Lfs.Fs.seguse (fs st)) seg line.Seg_cache.tindex;
             st.queue_time <- st.queue_time +. (now st -. enqueued);
+            Sim.Trace.async_instant line.Seg_cache.span_id ~args:[ ("phase", "dispatch") ];
             tq_push_fetch st tq { f_line = line; f_urgent = urgent };
             true
         | None -> false
@@ -526,7 +584,8 @@ let spawn_pipelined st =
               else Queue.add (line, enqueued) starved
         | Writeout { line; enqueued; status; done_cv } ->
             st.queue_time <- st.queue_time +. (now st -. enqueued);
-            dq_push dq ~urgent:false
+            Sim.Trace.async_instant line.Seg_cache.span_id ~args:[ ("phase", "dispatch") ];
+            dq_push st dq ~urgent:false
               (D_writeout_read { w_line = line; w_status = status; w_done = done_cv })
         | Progress ->
             poke_pending := false;
@@ -536,7 +595,9 @@ let spawn_pipelined st =
       loop ());
   fun () ->
     st.stop_service <- true;
-    (* wake every parked worker so it can exit *)
+    (* wake every parked worker so it can exit: the dispatcher blocks in
+       Mailbox.recv, so it gets a message rather than a broadcast *)
+    Sim.Mailbox.send st.service_mb Progress;
     Sim.Condvar.broadcast tq.tq_cv;
     Sim.Condvar.broadcast dq.dq_cv;
     Sim.Condvar.broadcast st.cache_progress
@@ -546,6 +607,7 @@ let spawn_pipelined st =
 type io_request =
   | Io_fetch of fetch_ctx * Sim.Condvar.t
   | Io_writeout of wo_ctx * Sim.Condvar.t
+  | Io_stop  (** shutdown drain: wakes the I/O process so it can exit *)
 
 (* The paper's measured configuration: a single I/O process, and a
    service process that blocks on it one request at a time — the serial
@@ -564,7 +626,8 @@ let spawn_serial st =
         | Io_writeout (ctx, cv) ->
             let image = writeout_read st ctx in
             writeout_write st ctx image;
-            Sim.Condvar.broadcast cv);
+            Sim.Condvar.broadcast cv
+        | Io_stop -> ());
         if not st.stop_service then loop ()
       in
       loop ());
@@ -592,7 +655,9 @@ let spawn_serial st =
         drain ()
       in
       let pick () =
-        if not (Queue.is_empty urgent) then Queue.pop urgent else Queue.pop background
+        match Queue.take_opt urgent with
+        | Some r -> Some r
+        | None -> Queue.take_opt background
       in
       (* consecutive allocation failures; once every pending request has
          had a turn without progress, sleep on the progress condvar
@@ -601,7 +666,8 @@ let spawn_serial st =
       let rec loop () =
         refill ();
         (match pick () with
-        | Fetch { line; enqueued; is_prefetch } as req -> (
+        | None -> () (* only Progress arrived; re-check stop_service *)
+        | Some (Fetch { line; enqueued; is_prefetch } as req) -> (
             (* never block on allocation: pending write-outs are what
                turn Staging lines into evictable ones, and only this
                process dispatches them *)
@@ -611,6 +677,7 @@ let spawn_serial st =
                 st.queue_time <- st.queue_time +. (now st -. enqueued);
                 line.Seg_cache.disk_seg <- seg;
                 Lfs.Segusage.set_cache_tag (Lfs.Fs.seguse (fs st)) seg line.Seg_cache.tindex;
+                Sim.Trace.async_instant line.Seg_cache.span_id ~args:[ ("phase", "dispatch") ];
                 let cv = Sim.Condvar.create () in
                 Sim.Mailbox.send io_mb
                   (Io_fetch ({ f_line = line; f_urgent = not is_prefetch }, cv));
@@ -622,19 +689,24 @@ let spawn_serial st =
                   failures := 0;
                   Sim.Condvar.wait st.cache_progress
                 end)
-        | Writeout { line; enqueued; status; done_cv } ->
+        | Some (Writeout { line; enqueued; status; done_cv }) ->
             failures := 0;
             st.queue_time <- st.queue_time +. (now st -. enqueued);
+            Sim.Trace.async_instant line.Seg_cache.span_id ~args:[ ("phase", "dispatch") ];
             let cv = Sim.Condvar.create () in
             Sim.Mailbox.send io_mb
               (Io_writeout ({ w_line = line; w_status = status; w_done = done_cv }, cv));
             Sim.Condvar.wait cv
-        | Progress -> ());
+        | Some Progress -> () (* never queued; classify drops it *));
         if not st.stop_service then loop ()
       in
       loop ());
   fun () ->
     st.stop_service <- true;
+    (* drain both loops: the I/O process blocks in its own mailbox, the
+       service process in [service_mb] *)
+    Sim.Mailbox.send io_mb Io_stop;
+    Sim.Mailbox.send st.service_mb Progress;
     Sim.Condvar.broadcast st.cache_progress
 
 let spawn st =
@@ -645,6 +717,9 @@ type ticket = { status : writeout_status ref; done_cv : Sim.Condvar.t }
 let request_writeout st line =
   let status = ref Pending in
   let done_cv = Sim.Condvar.create () in
+  line.Seg_cache.span_id <-
+    Sim.Trace.async_begin ~track:"service" ~cat:"lifecycle" "writeout"
+      ~args:[ ("tindex", string_of_int line.Seg_cache.tindex) ];
   submit st (Writeout { line; enqueued = now st; status; done_cv });
   { status; done_cv }
 

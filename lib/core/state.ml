@@ -18,6 +18,7 @@ type staged_entry =
 
 type t = {
   engine : Sim.Engine.t;
+  metrics : Sim.Metrics.t;
   aspace : Addr_space.t;
   mutable disk : Lfs.Dev.t;
   fp : Footprint.t;
@@ -62,6 +63,7 @@ let create ~engine ~aspace ~disk ~fp ~cache =
   let st =
   {
     engine;
+    metrics = Sim.Metrics.create ();
     aspace;
     disk;
     fp;
@@ -110,6 +112,13 @@ let create ~engine ~aspace ~disk ~fp ~cache =
    [Mailbox.recv], and a new request — a write-out in particular — is
    itself a source of progress. *)
 let submit t req =
+  (match req with
+  | Fetch { is_prefetch = false; _ } ->
+      Sim.Metrics.incr (Sim.Metrics.counter t.metrics "service.demand_fetches_submitted")
+  | Fetch { is_prefetch = true; _ } ->
+      Sim.Metrics.incr (Sim.Metrics.counter t.metrics "service.prefetches_submitted")
+  | Writeout _ -> Sim.Metrics.incr (Sim.Metrics.counter t.metrics "service.writeouts_submitted")
+  | Progress -> ());
   Sim.Mailbox.send t.service_mb req;
   Sim.Condvar.broadcast t.cache_progress
 

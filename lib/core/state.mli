@@ -32,6 +32,9 @@ type staged_entry =
 
 type t = {
   engine : Sim.Engine.t;
+  metrics : Sim.Metrics.t;
+      (** instance-wide registry: request counters, queue-depth gauges,
+          latency histograms — see DESIGN.md "Observability" *)
   aspace : Addr_space.t;
   mutable disk : Lfs.Dev.t;  (** the raw concatenated disk farm *)
   fp : Footprint.t;

@@ -79,6 +79,10 @@ let live_contents st tindex =
       (List.rev !live_blocks, List.rev !live_inodes)
 
 let clean_volume st vol =
+  Sim.Trace.span ~track:"tertiary-cleaner" ~cat:"cleaner" "clean-volume"
+    ~args:[ ("vol", string_of_int vol) ]
+  @@ fun () ->
+  Sim.Metrics.incr (Sim.Metrics.counter st.metrics "tcleaner.volumes_cleaned");
   let spv = Addr_space.segs_per_volume st.aspace in
   st.avoid_volume <- Some vol;
   Fun.protect ~finally:(fun () -> st.avoid_volume <- None) @@ fun () ->
@@ -136,6 +140,7 @@ let clean_volume st vol =
     Segusage.set_state st.tseg tindex Segusage.Clean
   done;
   Fs.checkpoint fsys;
+  Sim.Metrics.incr ~by:!moved (Sim.Metrics.counter st.metrics "tcleaner.blocks_remigrated");
   {
     volume = vol;
     segments_scanned = !scanned;

@@ -107,31 +107,37 @@ let seek_duration t dist =
     let frac = float_of_int dist /. float_of_int (nblocks t) in
     t.prof.seek_min +. ((t.prof.seek_max -. t.prof.seek_min) *. Float.pow frac seek_exponent)
 
-let chunk_io t ~blk ~count ~rate =
+let chunk_io t ~blk ~count ~rate ~op =
   Resource.with_resource t.res (fun () ->
       let dist = abs (blk - t.arm) in
       let seek = seek_duration t dist in
       let rot = if dist = 0 then 0.0 else t.prof.rot_latency in
       t.seek_total <- t.seek_total +. seek;
-      Engine.delay (t.prof.op_overhead +. seek +. rot);
+      let track = "disk:" ^ t.label in
+      Trace.span ~track ~cat:"disk" "position"
+        ~args:[ ("seek_blocks", string_of_int dist) ]
+        (fun () -> Engine.delay (t.prof.op_overhead +. seek +. rot));
       let xfer = float_of_int (count * t.prof.block_size) /. rate in
-      (match t.bus with
-      | Some bus -> Scsi_bus.transfer bus xfer
-      | None -> Engine.delay xfer);
+      Trace.span ~track ~cat:"disk" op
+        ~args:[ ("blk", string_of_int blk); ("blocks", string_of_int count) ]
+        (fun () ->
+          match t.bus with
+          | Some bus -> Scsi_bus.transfer bus xfer
+          | None -> Engine.delay xfer);
       t.arm <- blk + count)
 
-let split_io t ~blk ~count ~rate =
+let split_io t ~blk ~count ~rate ~op =
   let rec go blk count =
     if count > 0 then begin
       let n = min count max_transfer_blocks in
-      chunk_io t ~blk ~count:n ~rate;
+      chunk_io t ~blk ~count:n ~rate ~op;
       go (blk + n) (count - n)
     end
   in
   go blk count
 
 let read t ~blk ~count =
-  split_io t ~blk ~count ~rate:t.prof.read_rate;
+  split_io t ~blk ~count ~rate:t.prof.read_rate ~op:"read";
   t.n_reads <- t.n_reads + 1;
   t.rbytes <- t.rbytes + (count * t.prof.block_size);
   Blockstore.read t.store ~blk ~count
@@ -139,7 +145,7 @@ let read t ~blk ~count =
 let write t ~blk data =
   let count = Bytes.length data / t.prof.block_size in
   Blockstore.write t.store ~blk data;
-  split_io t ~blk ~count ~rate:t.prof.write_rate;
+  split_io t ~blk ~count ~rate:t.prof.write_rate ~op:"write";
   t.n_writes <- t.n_writes + 1;
   t.wbytes <- t.wbytes + Bytes.length data
 

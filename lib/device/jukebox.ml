@@ -59,6 +59,7 @@ exception Worm_overwrite of { vol : int; blk : int }
 type drive = {
   id : int;
   res : Resource.t;
+  track : string;                 (* trace timeline for this drive *)
   mutable assigned : int option;  (* logical claim, settled under [mutex] *)
   mutable physical : int option;  (* volume actually inside *)
   mutable pos : int;              (* head position on the loaded volume *)
@@ -95,9 +96,11 @@ let create engine ?bus ?vol_capacity ~drives ~nvolumes ~media ~changer label =
       Array.init nvolumes (fun _ -> Blockstore.create ~block_size:media.block_size ~nblocks:cap);
     drives =
       Array.init drives (fun id ->
+          let dname = Printf.sprintf "%s:drive%d" label id in
           {
             id;
-            res = Resource.create engine (Printf.sprintf "%s:drive%d" label id);
+            res = Resource.create engine dname;
+            track = dname;
             assigned = None;
             physical = None;
             pos = 0;
@@ -157,10 +160,18 @@ let choose_drive t vol ~for_write =
 
 let swap t d vol =
   Resource.with_resource t.robot (fun () ->
-      let move () = Engine.delay t.changer.swap_time in
-      (match t.bus with
-      | Some bus when t.changer.hogs_bus -> Resource.with_resource (Scsi_bus.resource bus) move
-      | _ -> move ());
+      Trace.span ~track:(t.label ^ ":robot") ~cat:"jukebox" "swap"
+        ~args:
+          [
+            ("drive", string_of_int d.id);
+            ("unload", match d.physical with Some v -> string_of_int v | None -> "-");
+            ("load", string_of_int vol);
+          ]
+        (fun () ->
+          let move () = Engine.delay t.changer.swap_time in
+          match t.bus with
+          | Some bus when t.changer.hogs_bus -> Resource.with_resource (Scsi_bus.resource bus) move
+          | _ -> move ());
       d.physical <- Some vol;
       d.pos <- 0;
       t.n_swaps <- t.n_swaps + 1;
@@ -186,18 +197,24 @@ let rec with_drive t vol ~for_write f =
 
 let chunk_blocks = 16 (* MAXPHYS-style 64 KB transfer grain *)
 
-let position_and_transfer t d ~blk ~count ~rate =
+let position_and_transfer t d ~blk ~count ~rate ~op =
   let rec go blk count =
     if count > 0 then begin
       let n = min count chunk_blocks in
       if d.pos <> blk then begin
         let dist = abs (blk - d.pos) in
-        Engine.delay (t.prof.seek_const +. (t.prof.seek_per_block *. float_of_int dist))
+        Trace.span ~track:d.track ~cat:"jukebox" "position"
+          ~args:[ ("seek_blocks", string_of_int dist) ]
+          (fun () ->
+            Engine.delay (t.prof.seek_const +. (t.prof.seek_per_block *. float_of_int dist)))
       end;
       let xfer = float_of_int (n * t.prof.block_size) /. rate in
-      (match t.bus with
-      | Some bus -> Scsi_bus.transfer bus xfer
-      | None -> Engine.delay xfer);
+      Trace.span ~track:d.track ~cat:"jukebox" op
+        ~args:[ ("blk", string_of_int blk); ("blocks", string_of_int n) ]
+        (fun () ->
+          match t.bus with
+          | Some bus -> Scsi_bus.transfer bus xfer
+          | None -> Engine.delay xfer);
       d.pos <- blk + n;
       go (blk + n) (count - n)
     end
@@ -207,7 +224,7 @@ let position_and_transfer t d ~blk ~count ~rate =
 let read t ~vol ~blk ~count =
   if vol < 0 || vol >= nvolumes t then invalid_arg "Jukebox.read: bad volume";
   with_drive t vol ~for_write:false (fun d ->
-      position_and_transfer t d ~blk ~count ~rate:t.prof.read_rate;
+      position_and_transfer t d ~blk ~count ~rate:t.prof.read_rate ~op:"read";
       t.rbytes <- t.rbytes + (count * t.prof.block_size);
       Blockstore.read t.volumes.(vol) ~blk ~count)
 
@@ -220,7 +237,7 @@ let write t ~vol ~blk data =
     done;
   with_drive t vol ~for_write:true (fun d ->
       Blockstore.write t.volumes.(vol) ~blk data;
-      position_and_transfer t d ~blk ~count ~rate:t.prof.write_rate;
+      position_and_transfer t d ~blk ~count ~rate:t.prof.write_rate ~op:"write";
       t.wbytes <- t.wbytes + Bytes.length data)
 
 let swaps t = t.n_swaps

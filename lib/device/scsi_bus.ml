@@ -4,6 +4,8 @@ let create engine name = { res = Sim.Resource.create engine ("scsi:" ^ name) }
 let resource t = t.res
 
 let transfer t duration =
-  Sim.Resource.with_resource t.res (fun () -> Sim.Engine.delay duration)
+  Sim.Resource.with_resource t.res (fun () ->
+      Sim.Trace.span ~track:(Sim.Resource.name t.res) ~cat:"bus" "xfer" (fun () ->
+          Sim.Engine.delay duration))
 
 let utilization t = Sim.Resource.utilization t.res

@@ -6,7 +6,9 @@ type t = {
   mutable now : float;
   events : event Heap.t;
   mutable seq : int;
-  mutable blocked : int;
+  mutable next_pid : int;
+  blocked : (int, string) Hashtbl.t;
+  mutable running : (int * string) option;
 }
 
 type _ Effect.t +=
@@ -15,7 +17,14 @@ type _ Effect.t +=
 
 let create () =
   let cmp a b = if a.time = b.time then compare a.seq b.seq else compare a.time b.time in
-  { now = 0.0; events = Heap.create ~cmp; seq = 0; blocked = 0 }
+  {
+    now = 0.0;
+    events = Heap.create ~cmp;
+    seq = 0;
+    next_pid = 0;
+    blocked = Hashtbl.create 16;
+    running = None;
+  }
 
 let now t = t.now
 
@@ -27,11 +36,23 @@ let delay d = Effect.perform (Delay (Float.max 0.0 d))
 let suspend register = Effect.perform (Suspend register)
 let yield () = delay 0.0
 
+let current_process t = Option.map snd t.running
+
 (* Each spawned process runs under its own deep handler; resumptions are
    scheduled as fresh events so a process always runs to its next
-   blocking point before any other process is entered. *)
+   blocking point before any other process is entered. Every slice of a
+   process — the initial run and each resumption — executes with
+   [t.running] set to its (pid, name), so the tracer and diagnostics can
+   name the process that is currently on the virtual CPU. *)
 let spawn t ?name f =
-  ignore name;
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
+  let pname = match name with Some n -> n | None -> Printf.sprintf "proc-%d" pid in
+  let enter body () =
+    let prev = t.running in
+    t.running <- Some (pid, pname);
+    Fun.protect ~finally:(fun () -> t.running <- prev) body
+  in
   let handler =
     {
       Effect.Deep.retc = (fun () -> ());
@@ -42,24 +63,24 @@ let spawn t ?name f =
           | Delay d ->
               Some
                 (fun (k : (a, unit) Effect.Deep.continuation) ->
-                  schedule t (t.now +. d) (fun () -> Effect.Deep.continue k ()))
+                  schedule t (t.now +. d) (enter (fun () -> Effect.Deep.continue k ())))
           | Suspend register ->
               Some
                 (fun (k : (a, unit) Effect.Deep.continuation) ->
-                  t.blocked <- t.blocked + 1;
+                  Hashtbl.replace t.blocked pid pname;
                   let fired = ref false in
                   let wake () =
                     if not !fired then begin
                       fired := true;
-                      t.blocked <- t.blocked - 1;
-                      schedule t t.now (fun () -> Effect.Deep.continue k ())
+                      Hashtbl.remove t.blocked pid;
+                      schedule t t.now (enter (fun () -> Effect.Deep.continue k ()))
                     end
                   in
                   register wake)
           | _ -> None);
     }
   in
-  schedule t t.now (fun () -> Effect.Deep.match_with f () handler)
+  schedule t t.now (enter (fun () -> Effect.Deep.match_with f () handler))
 
 let run t =
   let rec loop () =
@@ -84,4 +105,7 @@ let run_until t limit =
   in
   loop ()
 
-let blocked_processes t = t.blocked
+let blocked_processes t = Hashtbl.length t.blocked
+
+let blocked_process_names t =
+  Hashtbl.fold (fun _ name acc -> name :: acc) t.blocked [] |> List.sort compare

@@ -20,7 +20,13 @@ val now : t -> float
 
 val spawn : t -> ?name:string -> (unit -> unit) -> unit
 (** Registers a process to start at the current virtual time. May be
-    called from inside or outside a running process. *)
+    called from inside or outside a running process. The [name] labels
+    the process in {!blocked_process_names} and {!current_process}
+    (e.g. trace track labels); unnamed processes get ["proc-<n>"]. *)
+
+val current_process : t -> string option
+(** Name of the process currently executing on the virtual CPU, or
+    [None] between events / outside [run]. *)
 
 val delay : float -> unit
 (** Blocks the calling process for the given virtual duration. Must be
@@ -50,3 +56,7 @@ val blocked_processes : t -> int
 (** Number of processes that were suspended and have not yet resumed or
     finished; nonzero after [run] indicates a lost wake-up or an
     intentionally infinite server loop. *)
+
+val blocked_process_names : t -> string list
+(** Names of the processes counted by {!blocked_processes}, sorted —
+    the first question to ask of a deadlocked run. *)

@@ -1,0 +1,79 @@
+(** Metrics registry: counters, gauges and log-bucketed latency
+    histograms for instrumenting simulated runs.
+
+    Subsumes the bare {!Stats} accumulator: every histogram embeds a
+    Welford accumulator for exact count/mean/stddev/min/max, and adds
+    power-of-two buckets over it for p50/p95/p99. All instruments are
+    find-or-create by name, so instrumentation points need only the
+    registry and a stable name. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : t -> string -> counter
+val incr : ?by:int -> counter -> unit
+val count : counter -> int
+
+(** {1 Gauges} *)
+
+type gauge
+
+val gauge : t -> string -> gauge
+val set : gauge -> float -> unit
+val value : gauge -> float
+val max_value : gauge -> float
+(** High-water mark since creation/reset. *)
+
+(** {1 Histograms}
+
+    Bucket [i] covers [[base * 2^i, base * 2^(i+1))]; the default base
+    of 1e-6 (one simulated microsecond) spans far past any simulated
+    latency in 64 buckets. Observations below [base] land in an
+    underflow bucket and are still exact in the Welford moments. *)
+
+type histogram
+
+val histogram : t -> ?base:float -> string -> histogram
+val observe : histogram -> float -> unit
+val observations : histogram -> int
+val hist_mean : histogram -> float
+val hist_stddev : histogram -> float
+val hist_min : histogram -> float
+val hist_max : histogram -> float
+
+val percentile : histogram -> float -> float
+(** [percentile h q] with [q] in [[0,1]]: the geometric midpoint of the
+    bucket holding the rank-[ceil (q*n)] observation, clamped to the
+    observed min/max. Monotone in [q]; 0 when empty. Raises
+    [Invalid_argument] outside [[0,1]]. *)
+
+val bucket_index : histogram -> float -> int
+(** Bucket an observation would land in ([-1] = underflow); exposed for
+    boundary tests. *)
+
+val bucket_lo : histogram -> int -> float
+(** Lower bound of bucket [i]. *)
+
+val merge_histogram : histogram -> histogram -> unit
+(** [merge_histogram dst src] folds [src] into [dst] (buckets and
+    moments); [src] is unchanged. The bases must match. *)
+
+val find_histogram : t -> string -> histogram option
+val iter_histograms : t -> (string -> histogram -> unit) -> unit
+(** In name order. *)
+
+(** {1 Lifecycle and export} *)
+
+val reset : t -> unit
+(** Zeroes every instrument, keeping the registrations. *)
+
+val to_json : t -> string
+(** Instruments sorted by name; histograms report count, moments and
+    p50/p95/p99. *)
+
+val write_file : t -> string -> unit

@@ -15,3 +15,7 @@ val stddev : t -> float
 val min_value : t -> float
 val max_value : t -> float
 val reset : t -> unit
+
+val absorb : t -> t -> unit
+(** [absorb t o] folds [o]'s observations into [t] (pairwise Welford
+    combination); [o] is left unchanged. *)

@@ -1,0 +1,68 @@
+(** Simulated-time tracing with Chrome trace-event export.
+
+    A tracer buffers named spans and instant events stamped with the
+    virtual clock and a {e track} — a named timeline row, usually a
+    device ("disk:rz57", "hp6300:robot") or a simulator process
+    ("hl-io-tert0"). {!export} renders the buffer as Chrome
+    trace-event JSON, viewable in Perfetto ({:https://ui.perfetto.dev})
+    or [chrome://tracing]; simulated seconds map to trace microseconds.
+
+    One tracer at a time is {e ambient}: {!start} installs it, and every
+    instrumentation point in the stack ({!span}, {!instant}, ...) logs
+    to it without plumbing. With no tracer installed, all of them are
+    no-ops, so instrumented code pays one option check when tracing is
+    off. When [?track] is omitted, events land on a track named after
+    the running simulator process ({!Engine.current_process}). *)
+
+type t
+
+val start : ?limit:int -> Engine.t -> t
+(** Creates a tracer clocked by [engine]'s virtual time and installs it
+    as the ambient tracer. [limit] (default 2M) bounds the number of
+    buffered events; beyond it events are counted in {!dropped} rather
+    than stored. *)
+
+val stop : unit -> unit
+(** Uninstalls the ambient tracer (the buffer survives for {!export}). *)
+
+val current : unit -> t option
+val enabled : unit -> bool
+val event_count : t -> int
+val dropped : t -> int
+
+val span : ?track:string -> ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f] and records a complete ("X") event covering
+    its virtual duration. Spans from one simulator process nest
+    properly, since processes are coroutines. Recorded even when [f]
+    raises. *)
+
+val instant : ?track:string -> ?cat:string -> ?args:(string * string) list -> string -> unit
+
+val counter : track:string -> ?cat:string -> string -> float -> unit
+(** A sampled numeric series ("C" event), e.g. a queue depth. *)
+
+(** {1 Async lifecycles}
+
+    Request lifecycles (enqueue → dispatch → phases → complete) cross
+    processes, so they are recorded as async ("b"/"n"/"e") events keyed
+    by an id. {!async_begin} allocates the id and remembers the
+    name/category; the later points only need the id. *)
+
+val async_begin : ?track:string -> ?cat:string -> ?args:(string * string) list -> string -> int
+(** Returns the lifecycle id, or [-1] when tracing is off. *)
+
+val async_instant : ?track:string -> ?args:(string * string) list -> int -> unit
+val async_end : ?track:string -> ?args:(string * string) list -> int -> unit
+(** No-ops for ids that are negative, unknown, or already ended. *)
+
+val absorb : t -> offset:float -> t -> unit
+(** [absorb dst ~offset src] appends [src]'s events into [dst] with
+    [offset] added to their timestamps — used to concatenate runs from
+    separate engines (each starting at virtual time 0) into one
+    timeline. *)
+
+val export : t -> string
+(** Chrome trace-event JSON (array format), events sorted by timestamp,
+    tracks named via thread_name metadata. *)
+
+val write_file : t -> string -> unit
