@@ -96,11 +96,30 @@ let layout nsegs nvolumes seg_blocks =
 
 (* ---- simulate ---- *)
 
+(* [--faults] accepts either a plan file or the DSL inline, so CI can
+   one-line a scenario: "jukebox0:drive* read prob=0.05 media_error" *)
+let read_fault_plan spec =
+  let text =
+    if Sys.file_exists spec then In_channel.with_open_text spec In_channel.input_all
+    else spec
+  in
+  match Sim.Fault.parse text with
+  | Ok plan -> plan
+  | Error msg ->
+      Printf.eprintf "invalid fault plan: %s\n" msg;
+      exit 1
+
 let simulate nsegs nvolumes seg_blocks media files file_kb policy verbose trace_file
-    metrics_file =
+    metrics_file faults =
   in_sim (fun engine ->
       let tracer = Option.map (fun _ -> Sim.Trace.start engine) trace_file in
+      let fault_plan = Option.map read_fault_plan faults in
       let hl = build_world engine ~nsegs ~nvolumes ~seg_blocks ~media in
+      (* armed after mkfs: the plan targets the scenario, not the format,
+         and the instance registry now exists for the fault counters *)
+      Option.iter
+        (fun plan -> Sim.Fault.install engine ~metrics:(Highlight.Hl.metrics hl) plan)
+        fault_plan;
       let fs = Highlight.Hl.fs hl in
       let st = Highlight.Hl.state hl in
       ignore (Dir.mkdir fs "/data");
@@ -167,6 +186,14 @@ let simulate nsegs nvolumes seg_blocks media files file_kb policy verbose trace_
       Printf.printf "demand fetches: %d   copies out: %d   cache: %d lines (%d evictions)\n"
         s.Highlight.Hl.demand_fetches s.Highlight.Hl.writeouts s.Highlight.Hl.cache_lines
         s.Highlight.Hl.cache_evictions;
+      Option.iter
+        (fun plan ->
+          Printf.printf "faults injected: %d   io retries: %d   io failures: %d\n"
+            (Sim.Fault.injected plan) s.Highlight.Hl.io_retries s.Highlight.Hl.io_failures;
+          List.iter
+            (fun (site, n) -> Printf.printf "  %-24s %d\n" site n)
+            (Sim.Fault.injected_by_site plan))
+        fault_plan;
       if verbose then begin
         print_newline ();
         print_string (Highlight.Hl_debug.render_hierarchy hl)
@@ -184,6 +211,7 @@ let simulate nsegs nvolumes seg_blocks media files file_kb policy verbose trace_
           Sim.Metrics.write_file (Highlight.Hl.metrics hl) path;
           Printf.printf "metrics -> %s\n" path)
         metrics_file;
+      if fault_plan <> None then Sim.Fault.clear ();
       match Highlight.Hl.check hl with
       | [] ->
           print_endline "hierarchy invariants: ok";
@@ -280,6 +308,13 @@ let metrics_t =
        & info [ "metrics" ] ~docv:"FILE"
            ~doc:"Write the metrics registry (counters, gauges, latency percentiles) as JSON.")
 
+let faults_t =
+  Arg.(value & opt (some string) None
+       & info [ "faults" ] ~docv:"PLAN"
+           ~doc:"Inject device faults: PLAN is a fault-plan file or inline DSL \
+                 (e.g. 'jukebox0:drive* read prob=0.05 media_error transient'; \
+                 sites are the trace track names of this world's devices).")
+
 (* --log enables the library's Logs source on stderr *)
 let setup_logs level =
   (match level with
@@ -309,11 +344,11 @@ let () =
               Term.(const (fun lvl a b c -> setup_logs lvl; layout a b c)
                     $ log_t $ nsegs_t $ nvols_t $ segblocks_t);
             Cmd.v (Cmd.info "simulate" ~doc:"Run a write/migrate/fetch scenario")
-              Term.(const (fun lvl a b c d e f g h i j ->
+              Term.(const (fun lvl a b c d e f g h i j k ->
                         setup_logs lvl;
-                        simulate a b c d e f g h i j)
+                        simulate a b c d e f g h i j k)
                     $ log_t $ nsegs_t $ nvols_t $ segblocks_t $ media_t $ files_t $ filekb_t
-                    $ policy_t $ verbose_t $ trace_t $ metrics_t);
+                    $ policy_t $ verbose_t $ trace_t $ metrics_t $ faults_t);
             Cmd.v (Cmd.info "grow" ~doc:"Demonstrate on-line disk addition (dead-zone claiming)")
               Term.(const (fun lvl a b c d -> setup_logs lvl; grow a b c d)
                     $ log_t $ nsegs_t $ nvols_t $ segblocks_t

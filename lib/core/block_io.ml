@@ -1,5 +1,30 @@
 open State
 
+(* The file system's own log traffic crosses the same faultable disk
+   and bus models as the service layer's transfers. Transient faults
+   are absorbed here with the instance's retry policy; exhaustion
+   surfaces as {!State.Io_error} — the EIO a kernel driver would
+   return. *)
+let retried st ~what f =
+  let rec go attempt backoff =
+    match f () with
+    | v -> v
+    | exception Sim.Fault.Injected d ->
+        if attempt >= st.retry.max_attempts then begin
+          Sim.Metrics.incr (Sim.Metrics.counter st.metrics "service.io_failures");
+          raise
+            (Io_error
+               (Printf.sprintf "%s: %s (%d attempts)" what
+                  (Sim.Fault.descriptor_to_string d) attempt))
+        end
+        else begin
+          Sim.Metrics.incr (Sim.Metrics.counter st.metrics "service.retries");
+          Sim.Engine.delay backoff;
+          go (attempt + 1) (Float.min (backoff *. 2.0) st.retry.backoff_cap)
+        end
+  in
+  go 1 st.retry.backoff_base
+
 let raw_read_cache_line st ~disk_seg =
   st.disk.Lfs.Dev.read ~blk:(disk_seg_base st disk_seg) ~count:(seg_blocks st)
 
@@ -21,7 +46,9 @@ let rec tertiary_read st ~blk ~count =
       let waited = Sim.Engine.now st.engine -. t0 in
       st.fetch_wait <- st.fetch_wait +. waited;
       Sim.Metrics.observe (Sim.Metrics.histogram st.metrics "cache.pin_wait_s") waited;
-      tertiary_read st ~blk ~count
+      (match line.Seg_cache.failed with
+      | Some msg -> raise (Io_error msg)
+      | None -> tertiary_read st ~blk ~count)
   | Some line ->
       Seg_cache.note_hit st.cache;
       Sim.Metrics.incr (Sim.Metrics.counter st.metrics "cache.hits");
@@ -35,7 +62,8 @@ let rec tertiary_read st ~blk ~count =
             let bs = st.disk.Lfs.Dev.block_size in
             Bytes.sub image (off * bs) (count * bs)
         | None ->
-            st.disk.Lfs.Dev.read ~blk:(disk_seg_base st line.Seg_cache.disk_seg + off) ~count
+            retried st ~what:"cache-line read" (fun () ->
+                st.disk.Lfs.Dev.read ~blk:(disk_seg_base st line.Seg_cache.disk_seg + off) ~count)
       in
       Seg_cache.unpin st.cache line;
       data
@@ -81,10 +109,13 @@ let rec tertiary_read st ~blk ~count =
       Sim.Metrics.observe
         (Sim.Metrics.histogram st.metrics "service.demand_fetch_latency_s")
         waited;
-      tertiary_read st ~blk ~count
+      (match line.Seg_cache.failed with
+      | Some msg -> raise (Io_error msg)
+      | None -> tertiary_read st ~blk ~count)
 
 let read_block_any st addr =
-  if Addr_space.is_disk st.aspace addr then st.disk.Lfs.Dev.read ~blk:addr ~count:1
+  if Addr_space.is_disk st.aspace addr then
+    retried st ~what:"disk read" (fun () -> st.disk.Lfs.Dev.read ~blk:addr ~count:1)
   else begin
     let tindex = Addr_space.tindex_of_addr st.aspace addr in
     let off = Addr_space.offset_in_seg st.aspace addr in
@@ -93,22 +124,26 @@ let read_block_any st addr =
       when line.Seg_cache.state = Seg_cache.Resident
            || line.Seg_cache.state = Seg_cache.Staging
            || line.Seg_cache.state = Seg_cache.Staged_clean ->
-        st.disk.Lfs.Dev.read ~blk:(disk_seg_base st line.Seg_cache.disk_seg + off) ~count:1
+        retried st ~what:"cache-line read" (fun () ->
+            st.disk.Lfs.Dev.read ~blk:(disk_seg_base st line.Seg_cache.disk_seg + off) ~count:1)
     | _ ->
         let vol, seg = Addr_space.vol_seg_of_tindex st.aspace tindex in
-        Footprint.read_blocks st.fp ~vol ~seg ~off ~count:1
+        retried st ~what:"tertiary block read" (fun () ->
+            Footprint.read_blocks st.fp ~vol ~seg ~off ~count:1)
   end
 
 let dev st =
   let read ~blk ~count =
-    if Addr_space.is_disk st.aspace blk then st.disk.Lfs.Dev.read ~blk ~count
+    if Addr_space.is_disk st.aspace blk then
+      retried st ~what:"log read" (fun () -> st.disk.Lfs.Dev.read ~blk ~count)
     else if Addr_space.is_tertiary st.aspace blk then tertiary_read st ~blk ~count
     else
       invalid_arg
         (Printf.sprintf "Block_io: read of dead-zone address %d" blk)
   in
   let write ~blk ~data =
-    if Addr_space.is_disk st.aspace blk then st.disk.Lfs.Dev.write ~blk ~data
+    if Addr_space.is_disk st.aspace blk then
+      retried st ~what:"log write" (fun () -> st.disk.Lfs.Dev.write ~blk ~data)
     else
       invalid_arg
         (Printf.sprintf

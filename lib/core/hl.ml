@@ -256,6 +256,9 @@ type stats = {
   fetch_latency_p50 : float;
   fetch_latency_p95 : float;
   fetch_latency_p99 : float;
+  io_retries : int;
+  io_failures : int;
+  faults_injected : int;
 }
 
 let stats t =
@@ -293,6 +296,11 @@ let stats t =
     fetch_latency_p50 = fetch_pct 0.5;
     fetch_latency_p95 = fetch_pct 0.95;
     fetch_latency_p99 = fetch_pct 0.99;
+    io_retries = Sim.Metrics.count (Sim.Metrics.counter st.State.metrics "service.retries");
+    io_failures =
+      Sim.Metrics.count (Sim.Metrics.counter st.State.metrics "service.io_failures");
+    faults_injected =
+      Sim.Metrics.count (Sim.Metrics.counter st.State.metrics "faults.injected");
   }
 
 let reset_stats t =

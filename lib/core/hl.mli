@@ -141,6 +141,15 @@ type stats = {
       (** Demand-fetch wait percentiles, from the
           ["service.demand_fetch_latency_s"] histogram (0 when no demand
           fetch has completed since the last reset). *)
+  io_retries : int;
+      (** Device phases re-issued after an injected fault (the
+          ["service.retries"] counter). *)
+  io_failures : int;
+      (** Requests that exhausted the retry policy (["service.io_failures"]):
+          the fetch or write-out surfaced an error instead of data. *)
+  faults_injected : int;
+      (** Faults fired by the ambient {!Sim.Fault} plan against this
+          instance's devices (["faults.injected"]; 0 with no plan). *)
 }
 
 val stats : t -> stats

@@ -16,6 +16,10 @@ type line = {
   mutable span_id : int;
       (* async-span id of the in-flight fetch/write-out lifecycle
          ([Sim.Trace.async_begin]); -1 when no span is open *)
+  mutable failed : string option;
+      (* set (with the reason) when the in-flight fetch failed
+         permanently; waiters on [ready] must check it and surface
+         [State.Io_error] instead of re-fetching through this line *)
 }
 
 type policy = Lru | Random_evict | Least_worthy
@@ -66,6 +70,7 @@ let insert t ~tindex ~disk_seg ~state ~now =
       image = None;
       ready = Sim.Condvar.create ();
       span_id = -1;
+      failed = None;
     }
   in
   Hashtbl.replace t.table tindex line;

@@ -33,6 +33,12 @@ type line = {
   mutable span_id : int;
       (** async-span id of the in-flight fetch/write-out lifecycle
           ({!Sim.Trace.async_begin}); -1 when no span is open *)
+  mutable failed : string option;
+      (** reason the in-flight fetch failed permanently (the line is
+          removed from the directory at the same moment, so a later
+          access re-fetches from scratch — a failure never poisons the
+          cache); waiters on [ready] check this and raise
+          [State.Io_error] *)
 }
 
 type policy = Lru | Random_evict | Least_worthy

@@ -196,25 +196,102 @@ type wo_ctx = {
   w_done : Sim.Condvar.t;
 }
 
-(* Fetch phase A (tertiary worker): read the segment image from the
-   cheapest copy. *)
-let fetch_read st ctx =
-  let line = ctx.f_line in
-  let source = pick_source st line.Seg_cache.tindex in
-  Hl_log.Log.debug (fun m ->
-      m "fetch tseg %d (from copy %d) -> disk seg %d" line.Seg_cache.tindex source
-        line.Seg_cache.disk_seg);
-  let vol, seg = Addr_space.vol_seg_of_tindex st.aspace source in
-  Sim.Trace.async_instant line.Seg_cache.span_id ~args:[ ("phase", "tertiary-read") ];
+(* ---------- fault handling ---------- *)
+
+(* Run one device phase under the retry policy: an injected fault is
+   retried with capped exponential backoff in sim-time, bounded by both
+   the attempt cap and a per-request deadline on the engine clock.
+   Permanent faults pass through here too — the jukebox excludes dead
+   drives from arbitration, so retrying a failed tertiary phase lands on
+   a sibling drive when one is alive (failover), and exhausts quickly
+   into [Error] when none is. *)
+let with_retries st ~what f =
+  let deadline = now st +. st.retry.request_timeout in
+  let rec go attempt backoff =
+    match f () with
+    | v -> Ok v
+    | exception Sim.Fault.Injected d ->
+        let msg = Sim.Fault.descriptor_to_string d in
+        Hl_log.Log.debug (fun m -> m "%s: %s (attempt %d)" what msg attempt);
+        if attempt >= st.retry.max_attempts then begin
+          Sim.Metrics.incr (Sim.Metrics.counter st.metrics "service.io_failures");
+          Error (Printf.sprintf "%s: %s (%d attempts)" what msg attempt)
+        end
+        else if now st +. backoff > deadline then begin
+          Sim.Metrics.incr (Sim.Metrics.counter st.metrics "service.timeouts");
+          Sim.Metrics.incr (Sim.Metrics.counter st.metrics "service.io_failures");
+          Error (Printf.sprintf "%s: %s (request timeout)" what msg)
+        end
+        else begin
+          Sim.Metrics.incr (Sim.Metrics.counter st.metrics "service.retries");
+          Sim.Trace.instant ~track:"service" ~cat:"fault" "retry"
+            ~args:[ ("what", what); ("attempt", string_of_int attempt) ];
+          Sim.Engine.delay backoff;
+          go (attempt + 1) (Float.min (backoff *. 2.0) st.retry.backoff_cap)
+        end
+  in
+  go 1 st.retry.backoff_base
+
+(* A fetch that exhausted its retries. The line must not poison the
+   cache: publish the reason, give the disk segment back, drop the line
+   from the directory (a later access re-fetches from scratch) and wake
+   the waiters — they see [failed] and surface {!State.Io_error}. *)
+let fail_fetch st line msg =
+  Hl_log.Log.info (fun m -> m "fetch of tseg %d failed: %s" line.Seg_cache.tindex msg);
+  line.Seg_cache.failed <- Some msg;
+  Sim.Metrics.incr (Sim.Metrics.counter st.metrics "service.fetch_failures");
+  Sim.Trace.async_end ~track:"service" line.Seg_cache.span_id ~args:[ ("failed", msg) ];
+  line.Seg_cache.span_id <- -1;
+  if line.Seg_cache.disk_seg >= 0 then
+    Lfs.Fs.release_segment (fs st) line.Seg_cache.disk_seg;
+  Seg_cache.remove st.cache line;
+  Sim.Condvar.broadcast line.Seg_cache.ready;
+  note_progress st
+
+(* A write-out that exhausted its retries: the staged line keeps the
+   only copy (Staging lines are never evictable), so nothing is lost —
+   the ticket reports [Failed] and the requester decides. *)
+let fail_writeout st ctx msg =
+  Hl_log.Log.info (fun m ->
+      m "write-out of tseg %d failed: %s" ctx.w_line.Seg_cache.tindex msg);
+  Sim.Metrics.incr (Sim.Metrics.counter st.metrics "service.writeout_failures");
+  ctx.w_status := Failed msg;
+  Sim.Trace.async_end ~track:"service" ctx.w_line.Seg_cache.span_id
+    ~args:[ ("failed", msg) ];
+  ctx.w_line.Seg_cache.span_id <- -1;
+  note_progress st;
+  Sim.Condvar.broadcast ctx.w_done
+
+(* Bracket one device phase with the Table 4 busy-time accounting, on
+   the failure path too — the device was busy right up to the fault. *)
+let phased st phase f =
   let t0 = now st in
   phase_begin st;
-  let image =
-    Sim.Trace.span ~cat:"service" "fetch:tertiary-read"
-      ~args:[ ("tindex", string_of_int line.Seg_cache.tindex); ("vol", string_of_int vol) ]
-      (fun () -> Footprint.read_seg st.fp ~vol ~seg)
-  in
-  phase_end st `Tertiary t0;
-  image
+  match f () with
+  | v ->
+      phase_end st phase t0;
+      v
+  | exception e ->
+      phase_end st phase t0;
+      raise e
+
+(* Fetch phase A (tertiary worker): read the segment image from the
+   cheapest copy. The copy is re-chosen on every retry, so a replica on
+   a healthy volume can stand in for a primary behind a dead drive. *)
+let fetch_read st ctx =
+  let line = ctx.f_line in
+  Sim.Trace.async_instant line.Seg_cache.span_id ~args:[ ("phase", "tertiary-read") ];
+  with_retries st ~what:"fetch:tertiary-read" (fun () ->
+      let source = pick_source st line.Seg_cache.tindex in
+      Hl_log.Log.debug (fun m ->
+          m "fetch tseg %d (from copy %d) -> disk seg %d" line.Seg_cache.tindex source
+            line.Seg_cache.disk_seg);
+      let vol, seg = Addr_space.vol_seg_of_tindex st.aspace source in
+      phased st `Tertiary (fun () ->
+          Sim.Trace.span ~cat:"service" "fetch:tertiary-read"
+            ~args:
+              [ ("tindex", string_of_int line.Seg_cache.tindex); ("vol", string_of_int vol) ]
+            (fun () -> Footprint.read_seg st.fp ~vol ~seg)))
 
 (* Readers of a just-fetched segment are served from its in-memory
    buffer instead of re-reading the cache disk the worker just wrote —
@@ -234,36 +311,38 @@ let attach_image st line image =
    and publish it. *)
 let fetch_write st ctx image =
   let line = ctx.f_line in
-  let t0 = now st in
-  phase_begin st;
-  Sim.Trace.span ~cat:"service" "fetch:disk-write"
-    ~args:[ ("tindex", string_of_int line.Seg_cache.tindex) ]
-    (fun () -> Block_io.raw_write_cache_line st ~disk_seg:line.Seg_cache.disk_seg image);
-  phase_end st `Disk t0;
-  attach_image st line image;
-  line.Seg_cache.state <- Seg_cache.Resident;
-  line.Seg_cache.fetched_at <- now st;
-  line.Seg_cache.last_use <- now st;
-  Sim.Trace.async_end ~track:"service" line.Seg_cache.span_id;
-  line.Seg_cache.span_id <- -1;
-  Sim.Condvar.broadcast line.Seg_cache.ready;
-  (* the line is evictable now: wake allocation waiters *)
-  note_progress st;
-  st.on_fetch line.Seg_cache.tindex
+  match
+    with_retries st ~what:"fetch:disk-write" (fun () ->
+        phased st `Disk (fun () ->
+            Sim.Trace.span ~cat:"service" "fetch:disk-write"
+              ~args:[ ("tindex", string_of_int line.Seg_cache.tindex) ]
+              (fun () ->
+                Block_io.raw_write_cache_line st ~disk_seg:line.Seg_cache.disk_seg image)))
+  with
+  | Error _ as e -> e
+  | Ok () ->
+      attach_image st line image;
+      line.Seg_cache.state <- Seg_cache.Resident;
+      line.Seg_cache.fetched_at <- now st;
+      line.Seg_cache.last_use <- now st;
+      Sim.Trace.async_end ~track:"service" line.Seg_cache.span_id;
+      line.Seg_cache.span_id <- -1;
+      Sim.Condvar.broadcast line.Seg_cache.ready;
+      (* the line is evictable now: wake allocation waiters *)
+      note_progress st;
+      st.on_fetch line.Seg_cache.tindex;
+      Ok ()
 
 (* Write-out phase A (cache-disk worker): lift the staged image off the
    cache disk. *)
 let writeout_read st ctx =
   Sim.Trace.async_instant ctx.w_line.Seg_cache.span_id ~args:[ ("phase", "disk-read") ];
-  let t0 = now st in
-  phase_begin st;
-  let image =
-    Sim.Trace.span ~cat:"service" "writeout:disk-read"
-      ~args:[ ("tindex", string_of_int ctx.w_line.Seg_cache.tindex) ]
-      (fun () -> Block_io.raw_read_cache_line st ~disk_seg:ctx.w_line.Seg_cache.disk_seg)
-  in
-  phase_end st `Disk t0;
-  image
+  with_retries st ~what:"writeout:disk-read" (fun () ->
+      phased st `Disk (fun () ->
+          Sim.Trace.span ~cat:"service" "writeout:disk-read"
+            ~args:[ ("tindex", string_of_int ctx.w_line.Seg_cache.tindex) ]
+            (fun () ->
+              Block_io.raw_read_cache_line st ~disk_seg:ctx.w_line.Seg_cache.disk_seg)))
 
 (* Write-out phase B (tertiary worker): copy to the jukebox, re-homing
    on end-of-medium. The image is address-free (pointers live in the fs
@@ -271,16 +350,16 @@ let writeout_read st ctx =
 let rec writeout_write st ctx image =
   let line = ctx.w_line in
   let vol, seg = Addr_space.vol_seg_of_tindex st.aspace line.Seg_cache.tindex in
-  let t0 = now st in
-  phase_begin st;
-  let result =
-    Sim.Trace.span ~cat:"service" "writeout:tertiary-write"
-      ~args:[ ("tindex", string_of_int line.Seg_cache.tindex); ("vol", string_of_int vol) ]
-      (fun () -> Footprint.write_seg st.fp ~vol ~seg image)
-  in
-  phase_end st `Tertiary t0;
-  match result with
-  | Footprint.Written ->
+  match
+    with_retries st ~what:"writeout:tertiary-write" (fun () ->
+        phased st `Tertiary (fun () ->
+            Sim.Trace.span ~cat:"service" "writeout:tertiary-write"
+              ~args:
+                [ ("tindex", string_of_int line.Seg_cache.tindex); ("vol", string_of_int vol) ]
+              (fun () -> Footprint.write_seg st.fp ~vol ~seg image)))
+  with
+  | Error _ as e -> e
+  | Ok Footprint.Written ->
       line.Seg_cache.state <- Seg_cache.Staged_clean;
       st.writeouts <- st.writeouts + 1;
       (* the manifest existed for end-of-medium re-homing; the copy is
@@ -289,9 +368,11 @@ let rec writeout_write st ctx image =
       (match !(ctx.w_status) with Rehomed _ -> () | _ -> ctx.w_status := Done);
       Sim.Trace.async_end ~track:"service" line.Seg_cache.span_id;
       line.Seg_cache.span_id <- -1;
+      st.on_writeout line.Seg_cache.tindex;
       note_progress st;
-      Sim.Condvar.broadcast ctx.w_done
-  | Footprint.End_of_medium ->
+      Sim.Condvar.broadcast ctx.w_done;
+      Ok ()
+  | Ok Footprint.End_of_medium ->
       Hl_log.Log.info (fun m ->
           m "end of medium: re-homing staged segment (was tseg %d)" line.Seg_cache.tindex);
       rehome st line;
@@ -511,12 +592,20 @@ let spawn_pipelined st =
           match tq_pop st tq with
           | None -> ()
           | Some (vol, T_fetch_read ctx) ->
-              let image = fetch_read st ctx in
+              let result = fetch_read st ctx in
               tq_release tq vol;
-              dq_push st dq ~urgent:ctx.f_urgent (D_fetch_write (ctx, image));
+              (match result with
+              (* the sibling worker may be gone once [stop_service] is
+                 set: fail the line rather than park it in a dead queue *)
+              | Ok image when not st.stop_service ->
+                  dq_push st dq ~urgent:ctx.f_urgent (D_fetch_write (ctx, image))
+              | Ok _ -> fail_fetch st ctx.f_line "service stopped"
+              | Error msg -> fail_fetch st ctx.f_line msg);
               loop ()
           | Some (vol, T_writeout_write (ctx, image)) ->
-              writeout_write st ctx image;
+              (match writeout_write st ctx image with
+              | Ok () -> ()
+              | Error msg -> fail_writeout st ctx msg);
               tq_release tq vol;
               loop ()
         in
@@ -527,11 +616,21 @@ let spawn_pipelined st =
         match dq_pop st dq with
         | None -> ()
         | Some (D_fetch_write (ctx, image)) ->
-            fetch_write st ctx image;
+            (match fetch_write st ctx image with
+            | Ok () -> ()
+            | Error msg -> fail_fetch st ctx.f_line msg);
             loop ()
-        | Some (D_writeout_read ctx) ->
-            writeout_read st ctx |> tq_push_writeout st tq ctx;
-            loop ()
+        | Some (D_writeout_read ctx) -> (
+            match writeout_read st ctx with
+            | Ok image when not st.stop_service ->
+                tq_push_writeout st tq ctx image;
+                loop ()
+            | Ok _ ->
+                fail_writeout st ctx "service stopped";
+                loop ()
+            | Error msg ->
+                fail_writeout st ctx msg;
+                loop ())
       in
       loop ());
   (* requests whose cache-line allocation failed; retried on progress *)
@@ -578,10 +677,15 @@ let spawn_pipelined st =
       in
       let rec loop () =
         (match Sim.Mailbox.recv st.service_mb with
+        | Fetch { line; _ } when st.stop_service -> fail_fetch st line "service stopped"
         | Fetch { line; enqueued; is_prefetch } ->
             if not (dispatch_fetch ~urgent:(not is_prefetch) line enqueued) then
               if is_prefetch then cancel_prefetch st line
               else Queue.add (line, enqueued) starved
+        | Writeout { line; status; done_cv; _ } when st.stop_service ->
+            fail_writeout st
+              { w_line = line; w_status = status; w_done = done_cv }
+              "service stopped"
         | Writeout { line; enqueued; status; done_cv } ->
             st.queue_time <- st.queue_time +. (now st -. enqueued);
             Sim.Trace.async_instant line.Seg_cache.span_id ~args:[ ("phase", "dispatch") ];
@@ -595,6 +699,43 @@ let spawn_pipelined st =
       loop ());
   fun () ->
     st.stop_service <- true;
+    (* shutdown drain: fail everything that was queued but never started
+       — a dead drive can leave work parked here forever — so every
+       waiter wakes and [Engine.blocked_processes] drains to zero.
+       In-flight transfers are not here (their worker popped them) and
+       finish on their own: hangs are bounded delays. *)
+    let abort = "service stopped" in
+    Hashtbl.iter
+      (fun _ vw ->
+        Queue.iter (fun (_, ctx) -> fail_fetch st ctx.f_line abort) vw.vw_urgent;
+        Queue.clear vw.vw_urgent;
+        Queue.iter (fun (_, ctx) -> fail_fetch st ctx.f_line abort) vw.vw_prefetch;
+        Queue.clear vw.vw_prefetch;
+        Queue.iter (fun (ctx, _) -> fail_writeout st ctx abort) vw.vw_wo;
+        Queue.clear vw.vw_wo)
+      tq.tq_vols;
+    let abort_disk_job = function
+      | D_fetch_write (ctx, _) -> fail_fetch st ctx.f_line abort
+      | D_writeout_read ctx -> fail_writeout st ctx abort
+    in
+    Queue.iter abort_disk_job dq.dq_urgent;
+    Queue.clear dq.dq_urgent;
+    Queue.iter abort_disk_job dq.dq_normal;
+    Queue.clear dq.dq_normal;
+    Queue.iter (fun (line, _) -> fail_fetch st line abort) starved;
+    Queue.clear starved;
+    let rec drain_mb () =
+      match Sim.Mailbox.try_recv st.service_mb with
+      | Some (Fetch { line; _ }) ->
+          fail_fetch st line abort;
+          drain_mb ()
+      | Some (Writeout { line; status; done_cv; _ }) ->
+          fail_writeout st { w_line = line; w_status = status; w_done = done_cv } abort;
+          drain_mb ()
+      | Some Progress -> drain_mb ()
+      | None -> ()
+    in
+    drain_mb ();
     (* wake every parked worker so it can exit: the dispatcher blocks in
        Mailbox.recv, so it gets a message rather than a broadcast *)
     Sim.Mailbox.send st.service_mb Progress;
@@ -620,12 +761,20 @@ let spawn_serial st =
       let rec loop () =
         (match Sim.Mailbox.recv io_mb with
         | Io_fetch (ctx, cv) ->
-            let image = fetch_read st ctx in
-            fetch_write st ctx image;
+            (match fetch_read st ctx with
+            | Ok image -> (
+                match fetch_write st ctx image with
+                | Ok () -> ()
+                | Error msg -> fail_fetch st ctx.f_line msg)
+            | Error msg -> fail_fetch st ctx.f_line msg);
             Sim.Condvar.broadcast cv
         | Io_writeout (ctx, cv) ->
-            let image = writeout_read st ctx in
-            writeout_write st ctx image;
+            (match writeout_read st ctx with
+            | Ok image -> (
+                match writeout_write st ctx image with
+                | Ok () -> ()
+                | Error msg -> fail_writeout st ctx msg)
+            | Error msg -> fail_writeout st ctx msg);
             Sim.Condvar.broadcast cv
         | Io_stop -> ());
         if not st.stop_service then loop ()
@@ -700,7 +849,29 @@ let spawn_serial st =
         | Some Progress -> () (* never queued; classify drops it *));
         if not st.stop_service then loop ()
       in
-      loop ());
+      loop ();
+      (* shutdown drain: wake the waiters of whatever never got
+         dispatched, so nothing stays blocked forever *)
+      let abort = function
+        | Fetch { line; _ } -> fail_fetch st line "service stopped"
+        | Writeout { line; status; done_cv; _ } ->
+            fail_writeout st
+              { w_line = line; w_status = status; w_done = done_cv }
+              "service stopped"
+        | Progress -> ()
+      in
+      Queue.iter abort urgent;
+      Queue.clear urgent;
+      Queue.iter abort background;
+      Queue.clear background;
+      let rec drain_mb () =
+        match Sim.Mailbox.try_recv st.service_mb with
+        | Some r ->
+            abort r;
+            drain_mb ()
+        | None -> ()
+      in
+      drain_mb ());
   fun () ->
     st.stop_service <- true;
     (* drain both loops: the I/O process blocks in its own mailbox, the

@@ -1,4 +1,16 @@
-type writeout_status = Pending | Done | Rehomed of int
+type writeout_status = Pending | Done | Rehomed of int | Failed of string
+
+exception Io_error of string
+
+type retry_policy = {
+  mutable max_attempts : int;
+  mutable backoff_base : float;
+  mutable backoff_cap : float;
+  mutable request_timeout : float;
+}
+
+let default_retry_policy () =
+  { max_attempts = 8; backoff_base = 0.05; backoff_cap = 10.0; request_timeout = 600.0 }
 
 type request =
   | Fetch of { line : Seg_cache.line; enqueued : float; is_prefetch : bool }
@@ -53,8 +65,12 @@ type t = {
   mutable on_fetch_start : int -> unit;
   mutable on_fetch : int -> unit;
       (** observation hook: a demand fetch of this tindex completed *)
+  mutable on_writeout : int -> unit;
+      (** observation hook: a write-out of this tindex reached tertiary
+          storage (the crash-recovery harness snapshots here) *)
   mutable avoid_volume : int option;
   mutable restrict_volume : int option;
+  retry : retry_policy;
 }
 
 exception Tertiary_full
@@ -97,8 +113,10 @@ let create ~engine ~aspace ~disk ~fp ~cache =
     prefetch = (fun _ -> []);
     on_fetch_start = (fun _ -> ());
     on_fetch = (fun _ -> ());
+    on_writeout = (fun _ -> ());
     avoid_volume = None;
     restrict_volume = None;
+    retry = default_retry_policy ();
   }
   in
   (* a pin release or a directory removal can turn a failed cache-line

@@ -3,7 +3,31 @@
     (the boxes of the paper's Fig. 5). Owned by {!Hl}, which constructs
     and exposes it; the sibling modules operate on it. *)
 
-type writeout_status = Pending | Done | Rehomed of int  (** new tindex *)
+type writeout_status =
+  | Pending
+  | Done
+  | Rehomed of int  (** new tindex *)
+  | Failed of string
+      (** the copy never reached tertiary storage (retries exhausted or
+          device permanently dead); the staged line keeps the only copy *)
+
+exception Io_error of string
+(** The EIO surfaced to {!Hl} callers when a demand fetch fails
+    permanently — the hierarchy degrades instead of looping forever. *)
+
+(** Service-layer robustness knobs: device faults are retried with
+    capped exponential backoff in sim-time ([backoff_base] doubling up
+    to [backoff_cap]), at most [max_attempts] attempts per device phase,
+    all bounded by [request_timeout] sim-seconds of the engine clock per
+    request. All fields are live-tunable. *)
+type retry_policy = {
+  mutable max_attempts : int;
+  mutable backoff_base : float;
+  mutable backoff_cap : float;
+  mutable request_timeout : float;
+}
+
+val default_retry_policy : unit -> retry_policy
 
 type request =
   | Fetch of { line : Seg_cache.line; enqueued : float; is_prefetch : bool }
@@ -82,11 +106,15 @@ type t = {
           tertiary access for this tindex — the "hold on" message *)
   mutable on_fetch : int -> unit;
       (** observation hook: a demand fetch of this tindex completed *)
+  mutable on_writeout : int -> unit;
+      (** observation hook: a write-out of this tindex reached tertiary
+          storage (the crash-recovery harness snapshots here) *)
   mutable avoid_volume : int option;
       (** volume excluded from allocation (being cleaned) *)
   mutable restrict_volume : int option;
       (** when set, tertiary allocation stays on this volume
           (self-contained migration batches, paper §8.2) *)
+  retry : retry_policy;  (** consulted by every service/I-O device phase *)
 }
 
 exception Tertiary_full

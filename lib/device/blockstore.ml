@@ -35,6 +35,11 @@ let write t ~blk data =
     Hashtbl.replace t.blocks (blk + i) b
   done
 
+let copy t =
+  let dup = Hashtbl.create (max 1024 (Hashtbl.length t.blocks)) in
+  Hashtbl.iter (fun blk b -> Hashtbl.replace dup blk (Bytes.copy b)) t.blocks;
+  { block_size = t.block_size; nblocks = t.nblocks; blocks = dup }
+
 let is_written t blk = Hashtbl.mem t.blocks blk
 let written_blocks t = Hashtbl.length t.blocks
 let erase t = Hashtbl.reset t.blocks

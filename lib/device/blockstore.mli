@@ -17,6 +17,12 @@ val read : t -> blk:int -> count:int -> Bytes.t
 val write : t -> blk:int -> Bytes.t -> unit
 (** The byte length must be a positive multiple of the block size. *)
 
+val copy : t -> t
+(** Deep snapshot of the store's current contents — the raw platter
+    state at this instant. The crash-recovery harness captures one
+    mid-run ({!Lfs.Fs.crash_image}) and remounts it to exercise
+    roll-forward from a torn log. *)
+
 val is_written : t -> int -> bool
 (** Whether the block has ever been written (distinguishes an explicit
     zero write from untouched medium; WORM enforcement sits on this). *)

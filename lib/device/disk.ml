@@ -137,6 +137,7 @@ let split_io t ~blk ~count ~rate ~op =
   go blk count
 
 let read t ~blk ~count =
+  Fault.check ~site:("disk:" ^ t.label) Fault.Read;
   split_io t ~blk ~count ~rate:t.prof.read_rate ~op:"read";
   t.n_reads <- t.n_reads + 1;
   t.rbytes <- t.rbytes + (count * t.prof.block_size);
@@ -144,6 +145,8 @@ let read t ~blk ~count =
 
 let write t ~blk data =
   let count = Bytes.length data / t.prof.block_size in
+  (* consulted before the store mutates: a faulted write leaves no data *)
+  Fault.check ~site:("disk:" ^ t.label) Fault.Write;
   Blockstore.write t.store ~blk data;
   split_io t ~blk ~count ~rate:t.prof.write_rate ~op:"write";
   t.n_writes <- t.n_writes + 1;

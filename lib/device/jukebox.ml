@@ -125,7 +125,14 @@ let ndrives t = Array.length t.drives
 let reserve_write_drive t flag =
   if Array.length t.drives > 1 then t.write_drive_reserved <- flag
 
-let loaded t = Array.map (fun d -> d.physical) t.drives
+(* A drive goes dead when a [Permanent] fault fires against its site
+   (the trace-track name). Dead drives drop out of arbitration, so a
+   service-layer retry of the failed transfer lands on a sibling drive —
+   the failover path. A volume stuck in a dead drive is treated as
+   unloaded; the robot can still pull it into a live drive. *)
+let drive_alive d = not (Fault.site_dead d.track)
+
+let loaded t = Array.map (fun d -> if drive_alive d then d.physical else None) t.drives
 let volume_store t vol = t.volumes.(vol)
 
 let erase_volume t vol =
@@ -138,11 +145,25 @@ let erase_volume t vol =
    writes claim drive 0 and reads avoid it. *)
 let choose_drive t vol ~for_write =
   let candidates =
-    if not t.write_drive_reserved then Array.to_list t.drives
-    else if for_write then [ t.drives.(0) ]
-    else List.tl (Array.to_list t.drives)
+    (if not t.write_drive_reserved then Array.to_list t.drives
+     else if for_write then [ t.drives.(0) ]
+     else List.tl (Array.to_list t.drives))
+    |> List.filter drive_alive
   in
-  match List.find_opt (fun d -> d.assigned = Some vol) (Array.to_list t.drives) with
+  if candidates = [] then
+    raise
+      (Fault.Injected
+         {
+           Fault.site = t.label;
+           op = (if for_write then Fault.Write else Fault.Read);
+           kind = Fault.Media_error;
+           persistence = Fault.Permanent;
+         });
+  match
+    List.find_opt
+      (fun d -> drive_alive d && d.assigned = Some vol)
+      (Array.to_list t.drives)
+  with
   | Some d -> d
   | None -> (
       match List.find_opt (fun d -> d.assigned = None) candidates with
@@ -159,6 +180,7 @@ let choose_drive t vol ~for_write =
           victim)
 
 let swap t d vol =
+  Fault.check ~site:(t.label ^ ":robot") Fault.Swap;
   Resource.with_resource t.robot (fun () ->
       Trace.span ~track:(t.label ^ ":robot") ~cat:"jukebox" "swap"
         ~args:
@@ -179,17 +201,42 @@ let swap t d vol =
 
 let rec with_drive t vol ~for_write f =
   Resource.acquire t.mutex;
-  let d = choose_drive t vol ~for_write in
-  Resource.release t.mutex;
+  let d =
+    (* choose_drive raises when no live drive remains; the mutex must
+       not leak with it or every later attempt parks forever *)
+    match choose_drive t vol ~for_write with
+    | d ->
+        Resource.release t.mutex;
+        d
+    | exception e ->
+        Resource.release t.mutex;
+        raise e
+  in
   Resource.acquire d.res;
-  if d.assigned <> Some vol then begin
-    (* lost the claim to a later re-assignment; retry *)
+  if not (drive_alive d) then begin
+    (* died while we queued for it; retry through arbitration, which
+       raises once no live drive is left *)
     Resource.release d.res;
     with_drive t vol ~for_write f
   end
   else begin
-    if d.physical <> Some vol then swap t d vol;
-    let result = try f d with e -> Resource.release d.res; raise e in
+    (* holding the drive settles any claim race: a claimant whose
+       [assigned] was stolen while it queued re-claims here instead of
+       releasing and re-arbitrating — two processes sharing the last
+       live drive would otherwise steal the claim back and forth
+       forever without advancing simulated time *)
+    d.assigned <- Some vol;
+    let result =
+      try
+        if d.physical <> Some vol then swap t d vol;
+        f d
+      with e ->
+        (* a drive that died mid-operation must not keep its volume
+           claim, or the retry would re-join the dead drive's queue *)
+        if not (drive_alive d) then d.assigned <- None;
+        Resource.release d.res;
+        raise e
+    in
     d.last_use <- Engine.now t.engine;
     Resource.release d.res;
     result
@@ -224,6 +271,7 @@ let position_and_transfer t d ~blk ~count ~rate ~op =
 let read t ~vol ~blk ~count =
   if vol < 0 || vol >= nvolumes t then invalid_arg "Jukebox.read: bad volume";
   with_drive t vol ~for_write:false (fun d ->
+      Fault.check ~site:d.track Fault.Read;
       position_and_transfer t d ~blk ~count ~rate:t.prof.read_rate ~op:"read";
       t.rbytes <- t.rbytes + (count * t.prof.block_size);
       Blockstore.read t.volumes.(vol) ~blk ~count)
@@ -236,6 +284,8 @@ let write t ~vol ~blk data =
       if Blockstore.is_written t.volumes.(vol) i then raise (Worm_overwrite { vol; blk = i })
     done;
   with_drive t vol ~for_write:true (fun d ->
+      (* consulted before the store mutates: a faulted write leaves no data *)
+      Fault.check ~site:d.track Fault.Write;
       Blockstore.write t.volumes.(vol) ~blk data;
       position_and_transfer t d ~blk ~count ~rate:t.prof.write_rate ~op:"write";
       t.wbytes <- t.wbytes + Bytes.length data)

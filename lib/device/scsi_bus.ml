@@ -4,6 +4,7 @@ let create engine name = { res = Sim.Resource.create engine ("scsi:" ^ name) }
 let resource t = t.res
 
 let transfer t duration =
+  Sim.Fault.check ~site:(Sim.Resource.name t.res) Sim.Fault.Transfer;
   Sim.Resource.with_resource t.res (fun () ->
       Sim.Trace.span ~track:(Sim.Resource.name t.res) ~cat:"bus" "xfer" (fun () ->
           Sim.Engine.delay duration))

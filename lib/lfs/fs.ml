@@ -862,6 +862,16 @@ let mount engine ?(cpu = Param.cpu_1993) ?bcache_blocks device =
   roll_forward t cp;
   t
 
+(* The crash half of the recovery harness: capture the raw platter state
+   at this instant, deliberately NOT flushing dirty buffers or writing a
+   checkpoint first — that is exactly what a power cut leaves behind.
+   Mounting the copy exercises checkpoint selection and roll-forward
+   over whatever torn log tail the crash point produced. *)
+let crash_image t store =
+  if Device.Blockstore.block_size store <> t.prm.block_size then
+    invalid_arg "Fs.crash_image: store block size differs from the file system's";
+  Device.Blockstore.copy store
+
 let drop_caches t =
   flush t;
   Bcache.invalidate_clean t.cache;

@@ -174,6 +174,16 @@ val partials_written : t -> int
 val iter_files : t -> (int -> Imap.entry -> unit) -> unit
 (** All allocated inums including the reserved ones. *)
 
+val crash_image : t -> Device.Blockstore.t -> Device.Blockstore.t
+(** [crash_image t store] snapshots the blockstore backing [t] as a
+    power-cut would leave it: a deep copy taken {e without} flushing
+    dirty buffers or checkpointing, so the copy holds the last
+    checkpoint plus whatever log tail had reached the device — possibly
+    torn. Remount the copy (through {!mount}, or {!Highlight.Hl.mount}
+    with the surviving jukeboxes) to exercise roll-forward; the running
+    [t] is undisturbed. Raises [Invalid_argument] if [store]'s block
+    size differs from the file system's. *)
+
 val drop_caches : t -> unit
 (** Flushes, then empties the buffer cache and the in-core inode table
     (the reserved ifile/tsegfile inodes stay pinned) — the state of a
