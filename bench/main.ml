@@ -21,6 +21,7 @@ let targets : (string * string * (unit -> unit)) list =
     ("fig4", "block address allocation map", Figs.run_fig4);
     ("fig5", "layered architecture with live counters", Figs.run_fig5);
     ("pipeline", "serial vs pipelined service/I-O with 2 drives + prefetch", Pipeline.run);
+    ("streaming", "first-block wakeup vs blocking fetch + adaptive readahead", Streaming.run);
     ("faulty", "pipeline scenario under media errors + a dead drive", Faulty.run);
     ("ablate-policy", "STP exponents x cache eviction over a Zipf trace", Ablations.run_policy);
     ("ablate-staging", "immediate vs delayed copy-out (paper 5.4)", Ablations.run_staging);

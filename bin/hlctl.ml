@@ -109,12 +109,34 @@ let read_fault_plan spec =
       Printf.eprintf "invalid fault plan: %s\n" msg;
       exit 1
 
+(* [--readahead] selects the prefetch policy: "none", "fixed:N" (the
+   static sequential depth), or "adaptive" (accuracy-driven depth). *)
+let apply_readahead hl spec =
+  match spec with
+  | "none" -> None
+  | "adaptive" -> Some (Highlight.Hl.set_prefetch_adaptive hl ())
+  | s -> (
+      match String.index_opt s ':' with
+      | Some i
+        when String.sub s 0 i = "fixed" -> (
+          match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+          | Some d when d > 0 ->
+              Highlight.Hl.set_prefetch_sequential hl ~depth:d;
+              None
+          | _ ->
+              Printf.eprintf "invalid --readahead depth in %S\n" s;
+              exit 1)
+      | _ ->
+          Printf.eprintf "unknown --readahead %S (none|fixed:N|adaptive)\n" s;
+          exit 1)
+
 let simulate nsegs nvolumes seg_blocks media files file_kb policy verbose trace_file
-    metrics_file faults =
+    metrics_file faults readahead =
   in_sim (fun engine ->
       let tracer = Option.map (fun _ -> Sim.Trace.start engine) trace_file in
       let fault_plan = Option.map read_fault_plan faults in
       let hl = build_world engine ~nsegs ~nvolumes ~seg_blocks ~media in
+      let ra = apply_readahead hl readahead in
       (* armed after mkfs: the plan targets the scenario, not the format,
          and the instance registry now exists for the fault counters *)
       Option.iter
@@ -186,6 +208,14 @@ let simulate nsegs nvolumes seg_blocks media files file_kb policy verbose trace_
       Printf.printf "demand fetches: %d   copies out: %d   cache: %d lines (%d evictions)\n"
         s.Highlight.Hl.demand_fetches s.Highlight.Hl.writeouts s.Highlight.Hl.cache_lines
         s.Highlight.Hl.cache_evictions;
+      Printf.printf "first-block p50: %.3fs   full-fetch p50: %.3fs\n"
+        s.Highlight.Hl.first_block_p50 s.Highlight.Hl.fetch_latency_p50;
+      Option.iter
+        (fun ra ->
+          Printf.printf "readahead: depth %d   used %d   wasted %d   accuracy %.2f\n"
+            (Highlight.Readahead.depth ra) (Highlight.Readahead.used ra)
+            (Highlight.Readahead.wasted ra) (Highlight.Readahead.accuracy ra))
+        ra;
       Option.iter
         (fun plan ->
           Printf.printf "faults injected: %d   io retries: %d   io failures: %d\n"
@@ -315,6 +345,13 @@ let faults_t =
                  (e.g. 'jukebox0:drive* read prob=0.05 media_error transient'; \
                  sites are the trace track names of this world's devices).")
 
+let readahead_t =
+  Arg.(value & opt string "none"
+       & info [ "readahead" ] ~docv:"POLICY"
+           ~doc:"Prefetch policy: 'none', 'fixed:N' (always stage the next N segments), \
+                 or 'adaptive' (accuracy-driven depth that grows on sequential streaks \
+                 and shrinks on wasted prefetches).")
+
 (* --log enables the library's Logs source on stderr *)
 let setup_logs level =
   (match level with
@@ -344,11 +381,11 @@ let () =
               Term.(const (fun lvl a b c -> setup_logs lvl; layout a b c)
                     $ log_t $ nsegs_t $ nvols_t $ segblocks_t);
             Cmd.v (Cmd.info "simulate" ~doc:"Run a write/migrate/fetch scenario")
-              Term.(const (fun lvl a b c d e f g h i j k ->
+              Term.(const (fun lvl a b c d e f g h i j k l ->
                         setup_logs lvl;
-                        simulate a b c d e f g h i j k)
+                        simulate a b c d e f g h i j k l)
                     $ log_t $ nsegs_t $ nvols_t $ segblocks_t $ media_t $ files_t $ filekb_t
-                    $ policy_t $ verbose_t $ trace_t $ metrics_t $ faults_t);
+                    $ policy_t $ verbose_t $ trace_t $ metrics_t $ faults_t $ readahead_t);
             Cmd.v (Cmd.info "grow" ~doc:"Demonstrate on-line disk addition (dead-zone claiming)")
               Term.(const (fun lvl a b c d -> setup_logs lvl; grow a b c d)
                     $ log_t $ nsegs_t $ nvols_t $ segblocks_t

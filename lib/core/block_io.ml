@@ -31,6 +31,63 @@ let raw_read_cache_line st ~disk_seg =
 let raw_write_cache_line st ~disk_seg data =
   st.disk.Lfs.Dev.write ~blk:(disk_seg_base st disk_seg) ~data
 
+(* A demand use of a line a readahead hint staged in: score the
+   prefetch as accurate and hand the outcome to the adaptive policy. *)
+let note_prefetch_used st line =
+  if line.Seg_cache.prefetched then begin
+    line.Seg_cache.prefetched <- false;
+    Sim.Metrics.incr (Sim.Metrics.counter st.metrics "prefetch.used");
+    st.on_prefetch_used line.Seg_cache.tindex
+  end
+
+(* Park on a Fetching line until it can serve blocks [off, off+count):
+   returns [Some data] the moment the streaming watermark covers the
+   extent (served straight from the in-memory image — the cache-disk
+   landing and the rest of the segment are still in flight), or [None]
+   once the line left Fetching, in which case the caller retakes the
+   normal lookup path. Predicate order is load-bearing: the watermark
+   is consulted *before* [failed], because a mid-stream fault fails
+   only the not-yet-valid suffix — [Service.fail_fetch] keeps the
+   delivered prefix attached so waiters below the watermark drain with
+   real data. *)
+let rec await_extent st line ~off ~count =
+  let covered =
+    match line.Seg_cache.image with
+    | Some image when line.Seg_cache.valid_blocks >= off + count -> Some image
+    | _ -> None
+  in
+  match covered with
+  | Some image when line.Seg_cache.state = Seg_cache.Fetching ->
+      let bs = st.disk.Lfs.Dev.block_size in
+      Some (Bytes.sub image (off * bs) (count * bs))
+  | _ -> (
+      match line.Seg_cache.failed with
+      | Some msg -> raise (Io_error msg)
+      | None ->
+          if line.Seg_cache.state <> Seg_cache.Fetching then None
+          else begin
+            Sim.Condvar.wait line.Seg_cache.ready;
+            await_extent st line ~off ~count
+          end)
+
+(* Wait-time bookkeeping shared by the ride-along and miss paths; the
+   failure path charges the wait too — the process was blocked right up
+   to the error. *)
+let timed_wait st series f =
+  let t0 = Sim.Engine.now st.engine in
+  let fin () =
+    let waited = Sim.Engine.now st.engine -. t0 in
+    st.fetch_wait <- st.fetch_wait +. waited;
+    Sim.Metrics.observe (Sim.Metrics.histogram st.metrics series) waited
+  in
+  match f () with
+  | v ->
+      fin ();
+      v
+  | exception e ->
+      fin ();
+      raise e
+
 (* Translate one tertiary extent (within a single tertiary segment) to
    its cached on-disk location, demand-fetching on a miss. *)
 let rec tertiary_read st ~blk ~count =
@@ -39,19 +96,19 @@ let rec tertiary_read st ~blk ~count =
   if off + count > seg_blocks st then
     invalid_arg "Block_io: tertiary read crosses a segment boundary";
   match Seg_cache.find st.cache tindex with
-  | Some line when line.Seg_cache.state = Seg_cache.Fetching ->
-      (* somebody else's fetch is in flight: ride along *)
-      let t0 = Sim.Engine.now st.engine in
-      Sim.Condvar.wait line.Seg_cache.ready;
-      let waited = Sim.Engine.now st.engine -. t0 in
-      st.fetch_wait <- st.fetch_wait +. waited;
-      Sim.Metrics.observe (Sim.Metrics.histogram st.metrics "cache.pin_wait_s") waited;
-      (match line.Seg_cache.failed with
-      | Some msg -> raise (Io_error msg)
+  | Some line when line.Seg_cache.state = Seg_cache.Fetching -> (
+      (* somebody else's fetch is in flight: ride along (a hint line
+         demanded while still in flight is an accurate prefetch) *)
+      note_prefetch_used st line;
+      match
+        timed_wait st "cache.pin_wait_s" (fun () -> await_extent st line ~off ~count)
+      with
+      | Some data -> data
       | None -> tertiary_read st ~blk ~count)
   | Some line ->
       Seg_cache.note_hit st.cache;
       Sim.Metrics.incr (Sim.Metrics.counter st.metrics "cache.hits");
+      note_prefetch_used st line;
       Seg_cache.pin line;
       Seg_cache.touch st.cache line ~now:(Sim.Engine.now st.engine);
       let data =
@@ -67,7 +124,7 @@ let rec tertiary_read st ~blk ~count =
       in
       Seg_cache.unpin st.cache line;
       data
-  | None ->
+  | None -> (
       Seg_cache.note_miss st.cache;
       Sim.Metrics.incr (Sim.Metrics.counter st.metrics "cache.misses");
       st.demand_fetches <- st.demand_fetches + 1;
@@ -95,6 +152,7 @@ let rec tertiary_read st ~blk ~count =
               Seg_cache.insert st.cache ~tindex:tindex' ~disk_seg:(-1)
                 ~state:Seg_cache.Fetching ~now:(Sim.Engine.now st.engine)
             in
+            line'.Seg_cache.prefetched <- true;
             line'.Seg_cache.span_id <-
               Sim.Trace.async_begin ~track:"service" ~cat:"lifecycle" "prefetch"
                 ~args:[ ("tindex", string_of_int tindex') ];
@@ -102,15 +160,14 @@ let rec tertiary_read st ~blk ~count =
               (Fetch { line = line'; enqueued = Sim.Engine.now st.engine; is_prefetch = true })
           end)
         (st.prefetch tindex);
-      let t0 = Sim.Engine.now st.engine in
-      Sim.Condvar.wait line.Seg_cache.ready;
-      let waited = Sim.Engine.now st.engine -. t0 in
-      st.fetch_wait <- st.fetch_wait +. waited;
-      Sim.Metrics.observe
-        (Sim.Metrics.histogram st.metrics "service.demand_fetch_latency_s")
-        waited;
-      (match line.Seg_cache.failed with
-      | Some msg -> raise (Io_error msg)
+      (* time to first usable block — the streaming fetch's whole point;
+         the full-fetch completion latency is observed by the service
+         worker in service.demand_fetch_latency_s *)
+      match
+        timed_wait st "service.first_block_latency_s" (fun () ->
+            await_extent st line ~off ~count)
+      with
+      | Some data -> data
       | None -> tertiary_read st ~blk ~count)
 
 let read_block_any st addr =

@@ -169,7 +169,33 @@ let set_prefetch_sequential t ~depth =
       List.init depth (fun i -> tindex + i + 1)
       |> List.filter (fun x -> x / spv = tindex / spv))
 
+let set_prefetch_adaptive t ?min_depth ?max_depth () =
+  let ra = Readahead.create ?min_depth ?max_depth () in
+  let spv = Addr_space.segs_per_volume t.st.State.aspace in
+  let depth_gauge = Sim.Metrics.gauge t.st.State.metrics "prefetch.depth" in
+  Sim.Metrics.set depth_gauge (float_of_int (Readahead.depth ra));
+  t.st.State.prefetch <-
+    (fun tindex ->
+      let hs =
+        Readahead.hints ra ~tindex
+        (* stay within the same volume: crossing volumes means a swap *)
+        |> List.filter (fun x -> x / spv = tindex / spv)
+      in
+      Sim.Metrics.set depth_gauge (float_of_int (Readahead.depth ra));
+      hs);
+  t.st.State.on_prefetch_used <-
+    (fun _ ->
+      Readahead.note_used ra;
+      Sim.Metrics.set depth_gauge (float_of_int (Readahead.depth ra)));
+  t.st.State.on_prefetch_wasted <-
+    (fun _ ->
+      Readahead.note_wasted ra;
+      Sim.Metrics.set depth_gauge (float_of_int (Readahead.depth ra)));
+  ra
+
 let set_prefetch_hints t f = t.st.State.prefetch <- f
+
+let set_streaming_fetch t flag = t.st.State.streaming_fetch <- flag
 
 let eject_tertiary_copies t ~paths =
   let fsys = t.fsys in
@@ -242,6 +268,9 @@ type stats = {
   io_tertiary_time : float;
   io_overlap : float;
   prefetches_dropped : int;
+  prefetches_used : int;
+  prefetches_wasted : int;
+  prefetch_accuracy : float;
   footprint_time : float;
   cache_lines : int;
   cache_hits : int;
@@ -256,6 +285,8 @@ type stats = {
   fetch_latency_p50 : float;
   fetch_latency_p95 : float;
   fetch_latency_p99 : float;
+  first_block_p50 : float;
+  first_block_p95 : float;
   io_retries : int;
   io_failures : int;
   faults_injected : int;
@@ -263,11 +294,15 @@ type stats = {
 
 let stats t =
   let st = t.st in
-  let fetch_pct q =
-    match Sim.Metrics.find_histogram st.State.metrics "service.demand_fetch_latency_s" with
+  let pct series q =
+    match Sim.Metrics.find_histogram st.State.metrics series with
     | Some h -> Sim.Metrics.percentile h q
     | None -> 0.0
   in
+  let fetch_pct = pct "service.demand_fetch_latency_s" in
+  let count name = Sim.Metrics.count (Sim.Metrics.counter st.State.metrics name) in
+  let pf_used = count "prefetch.used" in
+  let pf_wasted = count "prefetch.dropped" + count "prefetch.evicted_unused" in
   {
     demand_fetches = st.State.demand_fetches;
     writeouts = st.State.writeouts;
@@ -282,6 +317,11 @@ let stats t =
       (let busy = st.State.io_disk_time +. st.State.io_tertiary_time in
        if st.State.io_union_time > 0.0 then busy /. st.State.io_union_time else 1.0);
     prefetches_dropped = st.State.prefetches_dropped;
+    prefetches_used = pf_used;
+    prefetches_wasted = pf_wasted;
+    prefetch_accuracy =
+      (if pf_used + pf_wasted = 0 then 1.0
+       else float_of_int pf_used /. float_of_int (pf_used + pf_wasted));
     footprint_time = Footprint.time_in_footprint st.State.fp;
     cache_lines = Seg_cache.length st.State.cache;
     cache_hits = Seg_cache.hits st.State.cache;
@@ -296,11 +336,11 @@ let stats t =
     fetch_latency_p50 = fetch_pct 0.5;
     fetch_latency_p95 = fetch_pct 0.95;
     fetch_latency_p99 = fetch_pct 0.99;
-    io_retries = Sim.Metrics.count (Sim.Metrics.counter st.State.metrics "service.retries");
-    io_failures =
-      Sim.Metrics.count (Sim.Metrics.counter st.State.metrics "service.io_failures");
-    faults_injected =
-      Sim.Metrics.count (Sim.Metrics.counter st.State.metrics "faults.injected");
+    first_block_p50 = pct "service.first_block_latency_s" 0.5;
+    first_block_p95 = pct "service.first_block_latency_s" 0.95;
+    io_retries = count "service.retries";
+    io_failures = count "service.io_failures";
+    faults_injected = count "faults.injected";
   }
 
 let reset_stats t =

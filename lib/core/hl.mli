@@ -81,10 +81,25 @@ val grow_disk : t -> added_segs:int -> ?new_disk:Lfs.Dev.t -> unit -> unit
 
 val set_prefetch_sequential : t -> depth:int -> unit
 (** On a demand fetch, also stage the next [depth] segments of the same
-    volume (the clustered-layout prefetch of paper §5.1/§5.3). *)
+    volume (the clustered-layout prefetch of paper §5.1/§5.3) — the
+    fixed-depth baseline the adaptive policy is benchmarked against. *)
+
+val set_prefetch_adaptive : t -> ?min_depth:int -> ?max_depth:int -> unit -> Readahead.t
+(** Installs the accuracy-adaptive sequential readahead (see
+    {!Readahead}): hints stay within the demanded volume, depth is
+    exported as the ["prefetch.depth"] gauge, and every prefetched
+    line's fate (demanded vs. dropped / evicted unused) feeds back into
+    the depth. Returns the detector for direct inspection. *)
 
 val set_prefetch_hints : t -> (int -> int list) -> unit
 (** Arbitrary prefetch policy: given a fetched tindex, more to load. *)
+
+val set_streaming_fetch : t -> bool -> unit
+(** Default [true]: demand fetches deliver chunk-by-chunk into the
+    line's in-memory image, waking each waiter the moment the chunk
+    holding its block arrives (watermark protocol — see DESIGN.md).
+    [false] restores the blocking behaviour, where waiters sleep until
+    the whole segment has landed on the cache disk. *)
 
 val eject_tertiary_copies : t -> paths:string list -> unit
 (** Drops the cached copies of the tertiary segments holding these
@@ -124,6 +139,13 @@ type stats = {
           concurrently — the Table 4 "overlapped" figure. *)
   prefetches_dropped : int;
       (** Prefetches cancelled because no cache line was available. *)
+  prefetches_used : int;
+      (** Prefetched lines demanded before eviction (["prefetch.used"]). *)
+  prefetches_wasted : int;
+      (** Prefetches dropped or evicted untouched (["prefetch.dropped"]
+          + ["prefetch.evicted_unused"]). *)
+  prefetch_accuracy : float;
+      (** used / (used + wasted); 1.0 when no prefetch outcome exists. *)
   footprint_time : float;
   cache_lines : int;
   cache_hits : int;
@@ -141,6 +163,11 @@ type stats = {
       (** Demand-fetch wait percentiles, from the
           ["service.demand_fetch_latency_s"] histogram (0 when no demand
           fetch has completed since the last reset). *)
+  first_block_p50 : float;
+  first_block_p95 : float;
+      (** Time from demand miss to the first usable block, from the
+          ["service.first_block_latency_s"] histogram — with streaming
+          fetches this is what a blocked reader actually waits. *)
   io_retries : int;
       (** Device phases re-issued after an injected fault (the
           ["service.retries"] counter). *)

@@ -103,9 +103,7 @@ let stage_segment ?(defer = false) st ~inode_set blocks =
   let rec pack_inode_blocks acc next = function
     | [] -> List.rev acc
     | batch ->
-        let take = min ipb (List.length batch) in
-        let chunk = List.filteri (fun i _ -> i < take) batch in
-        let rest = List.filteri (fun i _ -> i >= take) batch in
+        let chunk, rest = Util.Misc.split_at ipb batch in
         pack_inode_blocks ((next, chunk) :: acc) (next + 1) rest
   in
   let inode_blocks = pack_inode_blocks [] ndata inodes_to_pack in
@@ -180,8 +178,8 @@ let stage_segment ?(defer = false) st ~inode_set blocks =
 let rec chunks n = function
   | [] -> []
   | l ->
-      let take = min n (List.length l) in
-      List.filteri (fun i _ -> i < take) l :: chunks n (List.filteri (fun i _ -> i >= take) l)
+      let chunk, rest = Util.Misc.split_at n l in
+      chunk :: chunks n rest
 
 (* Stage a batch of resolved candidates, appending [inode_set]'s inodes
    to the final staging segment. *)

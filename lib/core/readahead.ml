@@ -1,0 +1,70 @@
+(* Self-tuning sequential readahead (the CASTOR/Lustre-style
+   replacement for a fixed prefetch depth). The detector watches the
+   stream of demand-missed tertiary segment indices; the window for
+   "still sequential" is [last+1, last+depth+1] because an accurate
+   prefetch swallows the intermediate indices — those reads hit the
+   cache and never reach the miss path, so the next *miss* lands one
+   past the prefetched range, not at last+1. Depth doubles after a full
+   window of prefetches proved accurate and halves whenever one is
+   dropped, cancelled, or evicted unused. *)
+
+type t = {
+  min_depth : int;
+  max_depth : int;
+  mutable depth : int;
+  mutable last : int; (* most recent demand-missed tindex; -1 = none *)
+  mutable streak : int; (* consecutive in-window misses *)
+  mutable good : int; (* accurate prefetches since the last resize *)
+  mutable used : int;
+  mutable wasted : int;
+}
+
+let create ?(min_depth = 1) ?(max_depth = 8) () =
+  if min_depth < 1 || max_depth < min_depth then invalid_arg "Readahead.create";
+  {
+    min_depth;
+    max_depth;
+    depth = min_depth;
+    last = -1;
+    streak = 0;
+    good = 0;
+    used = 0;
+    wasted = 0;
+  }
+
+let depth t = t.depth
+let used t = t.used
+let wasted t = t.wasted
+
+let accuracy t =
+  let total = t.used + t.wasted in
+  if total = 0 then 1.0 else float_of_int t.used /. float_of_int total
+
+(* Called on every demand miss. The first miss of a run — and any
+   random jump — yields no hints: speculation starts only once two
+   misses in a row look sequential, which is what keeps a random
+   workload from paying for wasted fetches at all. *)
+let hints t ~tindex =
+  let sequential = t.last >= 0 && tindex > t.last && tindex <= t.last + t.depth + 1 in
+  if sequential then t.streak <- t.streak + 1
+  else begin
+    t.streak <- 0;
+    (* a broken run also questions the depth: decay toward minimum so a
+       workload that turns random stops over-committing drive time *)
+    t.depth <- max t.min_depth (t.depth / 2)
+  end;
+  t.last <- tindex;
+  if t.streak = 0 then [] else List.init t.depth (fun i -> tindex + i + 1)
+
+let note_used t =
+  t.used <- t.used + 1;
+  t.good <- t.good + 1;
+  if t.good >= t.depth && t.depth < t.max_depth then begin
+    t.depth <- min t.max_depth (t.depth * 2);
+    t.good <- 0
+  end
+
+let note_wasted t =
+  t.wasted <- t.wasted + 1;
+  t.good <- 0;
+  t.depth <- max t.min_depth (t.depth / 2)

@@ -1,0 +1,32 @@
+(** Accuracy-adaptive sequential readahead. One instance per mounted
+    HighLight (wired by {!Hl.set_prefetch_adaptive}): {!hints} is
+    consulted on every tertiary demand miss, and the service layer
+    reports each prefetched line's fate — demanded before eviction
+    ({!note_used}) or dropped / cancelled / evicted untouched
+    ({!note_wasted}). Depth doubles after [depth] consecutive accurate
+    prefetches and halves on every waste, bounded by
+    [min_depth, max_depth]. *)
+
+type t
+
+val create : ?min_depth:int -> ?max_depth:int -> unit -> t
+(** Defaults: [min_depth = 1], [max_depth = 8]. Starts at [min_depth]
+    with no speculation until a sequential run is observed. *)
+
+val hints : t -> tindex:int -> int list
+(** Segment indices to stage in behind the demand fetch of [tindex].
+    Empty until two consecutive misses fall in the sequential window
+    [last+1, last+depth+1] (accurate prefetches swallow intermediate
+    indices, so consecutive *misses* are [depth+1] apart, not 1). *)
+
+val note_used : t -> unit
+val note_wasted : t -> unit
+
+val depth : t -> int
+(** Current readahead depth (exported as the [prefetch.depth] gauge). *)
+
+val used : t -> int
+val wasted : t -> int
+
+val accuracy : t -> float
+(** used / (used + wasted), or 1.0 before any outcome is known. *)

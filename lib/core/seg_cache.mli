@@ -29,7 +29,19 @@ type line = {
           served from it without a disk pass while it lives (double
           buffering, paper §6.7); the service layer bounds how many
           stay attached *)
-  ready : Sim.Condvar.t;  (** broadcast when Fetching completes *)
+  mutable valid_blocks : int;
+      (** streaming-fetch watermark: how many leading blocks of [image]
+          hold real data. A streaming fetch advances it chunk by chunk
+          (broadcasting [ready] each time) so waiters needing an early
+          offset unblock before the whole segment arrives; blocking
+          fetches set it to the full segment size at completion. *)
+  mutable prefetched : bool;
+      (** inserted by a readahead hint and not yet demanded; cleared on
+          first demand use. Eviction/cancellation while set counts
+          against prefetch accuracy. *)
+  ready : Sim.Condvar.t;
+      (** broadcast when Fetching completes — and, for streaming
+          fetches, every time [valid_blocks] advances *)
   mutable span_id : int;
       (** async-span id of the in-flight fetch/write-out lifecycle
           ({!Sim.Trace.async_begin}); -1 when no span is open *)

@@ -10,6 +10,11 @@ let eject st line =
       invalid_arg "Service.eject: line not evictable");
   Hl_log.Log.debug (fun m ->
       m "eject cache line: tseg %d (disk seg %d)" line.Seg_cache.tindex line.Seg_cache.disk_seg);
+  if line.Seg_cache.prefetched then begin
+    (* the hint never paid off: the readahead policy hears about it *)
+    Sim.Metrics.incr (Sim.Metrics.counter st.metrics "prefetch.evicted_unused");
+    st.on_prefetch_wasted line.Seg_cache.tindex
+  end;
   Seg_cache.remove st.cache line;
   Seg_cache.note_eviction st.cache;
   Sim.Metrics.incr (Sim.Metrics.counter st.metrics "cache.evictions");
@@ -188,7 +193,7 @@ let pick_source st tindex =
   | Some t -> t
   | None -> ( match candidates with t :: _ -> t | [] -> tindex)
 
-type fetch_ctx = { f_line : Seg_cache.line; f_urgent : bool }
+type fetch_ctx = { f_line : Seg_cache.line; f_urgent : bool; f_enqueued : float }
 
 type wo_ctx = {
   w_line : Seg_cache.line;
@@ -235,16 +240,25 @@ let with_retries st ~what f =
 (* A fetch that exhausted its retries. The line must not poison the
    cache: publish the reason, give the disk segment back, drop the line
    from the directory (a later access re-fetches from scratch) and wake
-   the waiters — they see [failed] and surface {!State.Io_error}. *)
+   the waiters — they see [failed] and surface {!State.Io_error}.
+
+   A streaming fetch may already have delivered a valid prefix into the
+   line's image before the fault struck; [remove] detaches the image, so
+   re-attach it to the (now directory-less) line: waiters needing a
+   block below the watermark are served data that really did arrive,
+   and only the not-yet-valid suffix waiters surface the error. *)
 let fail_fetch st line msg =
   Hl_log.Log.info (fun m -> m "fetch of tseg %d failed: %s" line.Seg_cache.tindex msg);
   line.Seg_cache.failed <- Some msg;
   Sim.Metrics.incr (Sim.Metrics.counter st.metrics "service.fetch_failures");
   Sim.Trace.async_end ~track:"service" line.Seg_cache.span_id ~args:[ ("failed", msg) ];
   line.Seg_cache.span_id <- -1;
+  if line.Seg_cache.prefetched then st.on_prefetch_wasted line.Seg_cache.tindex;
   if line.Seg_cache.disk_seg >= 0 then
     Lfs.Fs.release_segment (fs st) line.Seg_cache.disk_seg;
+  let prefix = line.Seg_cache.image in
   Seg_cache.remove st.cache line;
+  if line.Seg_cache.valid_blocks > 0 then line.Seg_cache.image <- prefix;
   Sim.Condvar.broadcast line.Seg_cache.ready;
   note_progress st
 
@@ -277,7 +291,16 @@ let phased st phase f =
 
 (* Fetch phase A (tertiary worker): read the segment image from the
    cheapest copy. The copy is re-chosen on every retry, so a replica on
-   a healthy volume can stand in for a primary behind a dead drive. *)
+   a healthy volume can stand in for a primary behind a dead drive.
+
+   Streaming mode attaches the image buffer to the line *before* the
+   transfer and advances the [valid_blocks] watermark as each chunk
+   crosses the bus, broadcasting [ready] so a waiter whose block offset
+   just became valid unblocks immediately — the cache-disk landing and
+   the rest of the segment are off its critical path. The watermark
+   only moves when the delivered chunk extends the contiguous prefix,
+   and never regresses across retries: segment data is deterministic
+   (replicas are copies), so a retry re-blits the same bytes. *)
 let fetch_read st ctx =
   let line = ctx.f_line in
   Sim.Trace.async_instant line.Seg_cache.span_id ~args:[ ("phase", "tertiary-read") ];
@@ -291,7 +314,28 @@ let fetch_read st ctx =
           Sim.Trace.span ~cat:"service" "fetch:tertiary-read"
             ~args:
               [ ("tindex", string_of_int line.Seg_cache.tindex); ("vol", string_of_int vol) ]
-            (fun () -> Footprint.read_seg st.fp ~vol ~seg)))
+            (fun () ->
+              if not st.streaming_fetch then Footprint.read_seg st.fp ~vol ~seg
+              else begin
+                let bs = Footprint.block_size st.fp in
+                let image =
+                  match line.Seg_cache.image with
+                  | Some img -> img (* retry: keep buffer and watermark *)
+                  | None ->
+                      let img = Bytes.create (seg_blocks st * bs) in
+                      line.Seg_cache.image <- Some img;
+                      img
+                in
+                Footprint.read_seg_stream st.fp ~vol ~seg ~chunk:st.stream_chunk_blocks
+                  (fun ~off data ->
+                    Bytes.blit data 0 image (off * bs) (Bytes.length data);
+                    if off <= line.Seg_cache.valid_blocks then begin
+                      line.Seg_cache.valid_blocks <-
+                        max line.Seg_cache.valid_blocks (off + (Bytes.length data / bs));
+                      Sim.Condvar.broadcast line.Seg_cache.ready
+                    end);
+                image
+              end)))
 
 (* Readers of a just-fetched segment are served from its in-memory
    buffer instead of re-reading the cache disk the worker just wrote —
@@ -323,8 +367,16 @@ let fetch_write st ctx image =
   | Ok () ->
       attach_image st line image;
       line.Seg_cache.state <- Seg_cache.Resident;
+      line.Seg_cache.valid_blocks <- seg_blocks st;
       line.Seg_cache.fetched_at <- now st;
-      line.Seg_cache.last_use <- now st;
+      Seg_cache.touch st.cache line ~now:(now st);
+      (* full-fetch completion latency — the streaming win shows up in
+         service.first_block_latency_s (observed at the waiter), not
+         here: the whole segment still costs the same transfer time *)
+      if ctx.f_urgent then
+        Sim.Metrics.observe
+          (Sim.Metrics.histogram st.metrics "service.demand_fetch_latency_s")
+          (now st -. ctx.f_enqueued);
       Sim.Trace.async_end ~track:"service" line.Seg_cache.span_id;
       line.Seg_cache.span_id <- -1;
       Sim.Condvar.broadcast line.Seg_cache.ready;
@@ -571,6 +623,8 @@ let rec dq_pop st q =
 let cancel_prefetch st line =
   Seg_cache.remove st.cache line;
   st.prefetches_dropped <- st.prefetches_dropped + 1;
+  Sim.Metrics.incr (Sim.Metrics.counter st.metrics "prefetch.dropped");
+  if line.Seg_cache.prefetched then st.on_prefetch_wasted line.Seg_cache.tindex;
   Sim.Condvar.broadcast line.Seg_cache.ready
 
 (* The pipelined service/I-O machinery (paper §11's "overlapping the
@@ -661,7 +715,7 @@ let spawn_pipelined st =
             Lfs.Segusage.set_cache_tag (Lfs.Fs.seguse (fs st)) seg line.Seg_cache.tindex;
             st.queue_time <- st.queue_time +. (now st -. enqueued);
             Sim.Trace.async_instant line.Seg_cache.span_id ~args:[ ("phase", "dispatch") ];
-            tq_push_fetch st tq { f_line = line; f_urgent = urgent };
+            tq_push_fetch st tq { f_line = line; f_urgent = urgent; f_enqueued = enqueued };
             true
         | None -> false
       in
@@ -829,7 +883,8 @@ let spawn_serial st =
                 Sim.Trace.async_instant line.Seg_cache.span_id ~args:[ ("phase", "dispatch") ];
                 let cv = Sim.Condvar.create () in
                 Sim.Mailbox.send io_mb
-                  (Io_fetch ({ f_line = line; f_urgent = not is_prefetch }, cv));
+                  (Io_fetch
+                     ({ f_line = line; f_urgent = not is_prefetch; f_enqueued = enqueued }, cv));
                 Sim.Condvar.wait cv
             | None ->
                 incr failures;

@@ -51,6 +51,10 @@ type t = {
   mutable io_active : int;
   mutable io_busy_since : float;
   mutable prefetches_dropped : int;
+  mutable streaming_fetch : bool;
+  mutable stream_chunk_blocks : int;
+  mutable on_prefetch_used : int -> unit;
+  mutable on_prefetch_wasted : int -> unit;
   mutable io_mode : io_mode;
   image_fifo : Seg_cache.line Queue.t;
       (** fetched lines whose in-memory segment buffer is still attached
@@ -102,6 +106,10 @@ let create ~engine ~aspace ~disk ~fp ~cache =
     io_active = 0;
     io_busy_since = 0.0;
     prefetches_dropped = 0;
+    streaming_fetch = true;
+    stream_chunk_blocks = 16;
+    on_prefetch_used = (fun _ -> ());
+    on_prefetch_wasted = (fun _ -> ());
     io_mode = Pipelined;
     image_fifo = Queue.create ();
     cache_progress = Sim.Condvar.create ();

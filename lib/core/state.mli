@@ -86,6 +86,21 @@ type t = {
   mutable io_busy_since : float;  (** start of the current busy span *)
   mutable prefetches_dropped : int;
       (** speculative fetches cancelled because no cache line was free *)
+  mutable streaming_fetch : bool;
+      (** when true (default), demand fetches stream chunk-by-chunk into
+          the line's image with a valid-prefix watermark, waking waiters
+          at first usable block; when false, the pre-streaming blocking
+          behaviour (wake only at fetch completion) *)
+  mutable stream_chunk_blocks : int;
+      (** streaming delivery grain in blocks (the simulated bus already
+          transfers at 64 KB; tests shrink this to observe mid-stream
+          states on small segments) *)
+  mutable on_prefetch_used : int -> unit;
+      (** a prefetched line was demanded before eviction (tindex) — the
+          adaptive readahead policy scores itself here *)
+  mutable on_prefetch_wasted : int -> unit;
+      (** a prefetched line was dropped, cancelled, or evicted without
+          ever being demanded (tindex) *)
   mutable io_mode : io_mode;  (** consulted once, by {!Service.spawn} *)
   image_fifo : Seg_cache.line Queue.t;
       (** fetched lines whose in-memory segment buffer is still attached

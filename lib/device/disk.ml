@@ -143,6 +143,25 @@ let read t ~blk ~count =
   t.rbytes <- t.rbytes + (count * t.prof.block_size);
   Blockstore.read t.store ~blk ~count
 
+(* Streaming read: identical timing to [read] (which already splits at
+   MAXPHYS), but each chunk is delivered as its transfer completes and
+   the fault plan is consulted per chunk. *)
+let read_stream t ~blk ~count ?(chunk = max_transfer_blocks) f =
+  if chunk <= 0 then invalid_arg "Disk.read_stream: bad chunk";
+  Fault.check ~site:("disk:" ^ t.label) Fault.Read;
+  let rec go off remaining =
+    if remaining > 0 then begin
+      let n = min remaining chunk in
+      chunk_io t ~blk:(blk + off) ~count:n ~rate:t.prof.read_rate ~op:"read";
+      Fault.check ~site:("disk:" ^ t.label) Fault.Read;
+      t.rbytes <- t.rbytes + (n * t.prof.block_size);
+      f ~off (Blockstore.read t.store ~blk:(blk + off) ~count:n);
+      go (off + n) (remaining - n)
+    end
+  in
+  t.n_reads <- t.n_reads + 1;
+  go 0 count
+
 let write t ~blk data =
   let count = Bytes.length data / t.prof.block_size in
   (* consulted before the store mutates: a faulted write leaves no data *)

@@ -41,6 +41,12 @@ val block_size : t -> int
 val read : t -> blk:int -> count:int -> Bytes.t
 (** Blocking (simulated-time) read of [count] blocks. *)
 
+val read_stream : t -> blk:int -> count:int -> ?chunk:int -> (off:int -> Bytes.t -> unit) -> unit
+(** Like {!read} (same simulated timing — [read] already splits at the
+    64 KB MAXPHYS grain), but each [chunk]-block piece is delivered to
+    the callback as its transfer completes; [off] is the block offset
+    within the request. The fault plan is consulted per chunk. *)
+
 val write : t -> blk:int -> Bytes.t -> unit
 
 val store : t -> Blockstore.t

@@ -244,10 +244,13 @@ let rec with_drive t vol ~for_write f =
 
 let chunk_blocks = 16 (* MAXPHYS-style 64 KB transfer grain *)
 
-let position_and_transfer t d ~blk ~count ~rate ~op =
+(* [on_chunk] fires after each chunk's bus transfer completes — the
+   streaming-read delivery point. The chunk grain stays [chunk_blocks]
+   unless a caller asks for a different streaming granularity. *)
+let position_and_transfer ?(chunk = chunk_blocks) ?on_chunk t d ~blk ~count ~rate ~op =
   let rec go blk count =
     if count > 0 then begin
-      let n = min count chunk_blocks in
+      let n = min count chunk in
       if d.pos <> blk then begin
         let dist = abs (blk - d.pos) in
         Trace.span ~track:d.track ~cat:"jukebox" "position"
@@ -263,6 +266,7 @@ let position_and_transfer t d ~blk ~count ~rate ~op =
           | Some bus -> Scsi_bus.transfer bus xfer
           | None -> Engine.delay xfer);
       d.pos <- blk + n;
+      Option.iter (fun f -> f ~blk ~n) on_chunk;
       go (blk + n) (count - n)
     end
   in
@@ -275,6 +279,26 @@ let read t ~vol ~blk ~count =
       position_and_transfer t d ~blk ~count ~rate:t.prof.read_rate ~op:"read";
       t.rbytes <- t.rbytes + (count * t.prof.block_size);
       Blockstore.read t.volumes.(vol) ~blk ~count)
+
+(* Streaming read: the same drive/robot/bus model as [read], but each
+   chunk is delivered to [f] the moment its bus transfer completes, and
+   the fault plan is consulted per chunk — so a media error can strike
+   mid-transfer, after a prefix of the data has already been handed
+   over. Timing is identical to [read] (which already moves data through
+   the bus at [chunk_blocks] grain); only delivery and fault granularity
+   change. *)
+let read_stream t ~vol ~blk ~count ?(chunk = chunk_blocks) f =
+  if vol < 0 || vol >= nvolumes t then invalid_arg "Jukebox.read_stream: bad volume";
+  if chunk <= 0 then invalid_arg "Jukebox.read_stream: bad chunk";
+  with_drive t vol ~for_write:false (fun d ->
+      let deliver ~blk:cblk ~n =
+        Fault.check ~site:d.track Fault.Read;
+        t.rbytes <- t.rbytes + (n * t.prof.block_size);
+        f ~off:(cblk - blk) (Blockstore.read t.volumes.(vol) ~blk:cblk ~count:n)
+      in
+      Fault.check ~site:d.track Fault.Read;
+      position_and_transfer ~chunk ~on_chunk:deliver t d ~blk ~count
+        ~rate:t.prof.read_rate ~op:"read")
 
 let write t ~vol ~blk data =
   if vol < 0 || vol >= nvolumes t then invalid_arg "Jukebox.write: bad volume";

@@ -67,6 +67,16 @@ val ndrives : t -> int
 val read : t -> vol:int -> blk:int -> count:int -> Bytes.t
 val write : t -> vol:int -> blk:int -> Bytes.t -> unit
 
+val read_stream :
+  t -> vol:int -> blk:int -> count:int -> ?chunk:int -> (off:int -> Bytes.t -> unit) -> unit
+(** Like {!read}, but delivers each [chunk]-block piece (default: the
+    64 KB transfer grain) to the callback the moment its bus transfer
+    completes — [off] is the block offset of the piece within the
+    request. The fault plan is consulted per chunk, so a media error can
+    fire mid-stream after a prefix has been delivered; the exception
+    propagates and the already-delivered prefix stands. Same simulated
+    timing as {!read}. *)
+
 val reserve_write_drive : t -> bool -> unit
 (** When enabled, drive 0 is used only for volumes being written
     (requests pass [`Write]), keeping reads from evicting the active

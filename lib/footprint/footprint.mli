@@ -42,6 +42,13 @@ val volume_loaded : t -> int -> bool
 val read_seg : t -> vol:int -> seg:int -> Bytes.t
 (** Fetches a whole segment image ([seg_blocks] blocks). *)
 
+val read_seg_stream :
+  t -> vol:int -> seg:int -> ?chunk:int -> (off:int -> Bytes.t -> unit) -> unit
+(** Like {!read_seg}, but delivers the segment in [chunk]-block pieces
+    as each crosses the drive's bus — [off] is the block offset within
+    the segment. Same simulated timing as {!read_seg}; a mid-transfer
+    media fault propagates after the already-delivered prefix. *)
+
 val read_blocks : t -> vol:int -> seg:int -> off:int -> count:int -> Bytes.t
 (** Partial read within a segment (used by fsck-style tools; HighLight
     proper always moves whole segments). *)

@@ -1,0 +1,8 @@
+let split_at n l =
+  if n < 0 then invalid_arg "Misc.split_at";
+  let rec go acc n = function
+    | rest when n = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> go (x :: acc) (n - 1) rest
+  in
+  go [] n l

@@ -1,0 +1,4 @@
+val split_at : int -> 'a list -> 'a list * 'a list
+(** [split_at n l] is [(first n elements, the rest)] in one pass —
+    shorter lists yield [(l, [])]. The single-pass replacement for the
+    [List.filteri]-twice slicing idiom (quadratic per chunk). *)

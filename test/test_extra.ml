@@ -380,6 +380,10 @@ let test_fetch_notifier () =
       check Alcotest.(list string) "quiet before the read" []
         (List.map (fun _ -> "event") !events);
       ignore (File.read fs f ~off:0 ~len:4096);
+      (* streaming fetches unblock the reader at its block's chunk; the
+         completion notification fires when the segment lands on the
+         cache disk, shortly after — let that background phase finish *)
+      Sim.Engine.delay 120.0;
       let started, completed =
         List.fold_left
           (fun (s, c) (e, _) ->
