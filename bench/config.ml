@@ -82,6 +82,32 @@ let harvest_metrics m =
         h
   | _ -> ()
 
+(* Wait-profile attribution: a target that installs a {!Sim.Ledger}
+   registry around a measured phase calls [take_attribution] once its
+   simulation has drained (in-flight ledgers close on their own sim
+   time, after the bench body exits). The per-class category blame is
+   returned for the target's own report and recorded for --json. *)
+let attributions : (string * (string * (string * float) list) list) list ref = ref []
+
+let take_attribution label =
+  let classes =
+    List.map
+      (fun (cs : Sim.Ledger.class_summary) ->
+        ( cs.Sim.Ledger.cls,
+          List.map
+            (fun (c : Sim.Ledger.cat_stat) ->
+              (Sim.Ledger.category_name c.Sim.Ledger.cat, c.Sim.Ledger.total_s))
+            cs.Sim.Ledger.by_category ))
+      (Sim.Ledger.summary ())
+  in
+  Sim.Ledger.uninstall ();
+  attributions := !attributions @ [ (label, classes) ];
+  classes
+
+(* Blame-ranked lists put the dominant category first. *)
+let dominant_wait classes cls =
+  match List.assoc_opt cls classes with Some ((cat, _) :: _) -> cat | _ -> "-"
+
 (* Run a benchmark body inside a simulation process and return its
    result once the simulation drains. *)
 let in_sim engine f =

@@ -60,6 +60,23 @@ let write_json (file, oc) =
     "  \"demand_fetch_latency_s\": { \"count\": %d, \"p50\": %.6f, \"p95\": %.6f, \"p99\": \
      %.6f },\n"
     n p50 p95 p99;
+  (* per-category wait blame of every run that installed a ledger
+     (pipeline/streaming modes), seconds per request class *)
+  Printf.fprintf oc "  \"attribution\": {\n";
+  let attrs = !Config.attributions in
+  List.iteri
+    (fun i (label, classes) ->
+      Printf.fprintf oc "    %S: {" label;
+      List.iteri
+        (fun j (cls, cats) ->
+          if j > 0 then output_string oc ",";
+          Printf.fprintf oc " %S: { %s }" cls
+            (String.concat ", "
+               (List.map (fun (cat, v) -> Printf.sprintf "%S: %.6f" cat v) cats)))
+        classes;
+      Printf.fprintf oc " }%s\n" (if i = List.length attrs - 1 then "" else ","))
+    attrs;
+  Printf.fprintf oc "  },\n";
   Printf.fprintf oc "  \"targets\": {\n";
   let rows = List.rev !timings in
   List.iteri

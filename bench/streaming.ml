@@ -37,11 +37,13 @@ type latency_run = {
   fetches : int;
   tertiary_busy : float;
   ok : bool;
+  mutable attribution : (string * (string * float) list) list;
 }
 
 let run_latency ~streaming =
   let engine = Sim.Engine.create () in
-  Config.in_sim engine (fun () ->
+  let r =
+    Config.in_sim engine (fun () ->
       let bus = Device.Scsi_bus.create engine "scsi0" in
       let disk = Device.Disk.create engine ~bus Device.Disk.rz57 ~name:"rz57" in
       let jukebox =
@@ -77,6 +79,8 @@ let run_latency ~streaming =
       st.Highlight.State.restrict_volume <- None;
       Highlight.Hl.eject_tertiary_copies hl ~paths;
       Highlight.Hl.reset_stats hl;
+      (* attribute the measured reads only, not the setup migration *)
+      Sim.Ledger.install ~metrics:(Highlight.Hl.metrics hl) engine;
       let ok = ref true in
       let t0 = Sim.Engine.now engine in
       List.iteri
@@ -115,7 +119,13 @@ let run_latency ~streaming =
         fetches = s.Highlight.Hl.demand_fetches;
         tertiary_busy = s.Highlight.Hl.io_tertiary_time;
         ok = !ok;
+        attribution = [];
       })
+  in
+  r.attribution <-
+    Config.take_attribution
+      (Printf.sprintf "streaming.%s" (if streaming then "streaming" else "blocking"));
+  r
 
 (* ---------- phases 2/3: readahead accuracy ---------- *)
 
@@ -198,6 +208,15 @@ let run_random policy_label install =
       (s.Highlight.Hl.prefetches_used, s.Highlight.Hl.prefetches_wasted))
 
 (* ---------- driver ---------- *)
+
+(* demand-fetch category blame as a JSON object (seconds per category) *)
+let attr_json attribution =
+  match List.assoc_opt "demand_fetch" attribution with
+  | None -> "{}"
+  | Some cats ->
+      "{ "
+      ^ String.concat ", " (List.map (fun (c, v) -> Printf.sprintf "%S: %.6f" c v) cats)
+      ^ " }"
 
 let run () =
   let blocking = run_latency ~streaming:false in
@@ -285,6 +304,10 @@ let run () =
     "fixed4": { "used": %d, "wasted": %d },
     "adaptive": { "used": %d, "wasted": %d }
   },
+  "attribution": {
+    "blocking": %s,
+    "streaming": %s
+  },
   "verified": %b
 }
 |}
@@ -292,6 +315,8 @@ let run () =
     streaming.first_p95 speedup blocking.seg_throughput streaming.seg_throughput tput_ratio
     blocking.read_elapsed streaming.read_elapsed seq_accuracy seq_used seq_wasted seq_depth
     fixed_used fixed_wasted adaptive_used adaptive_wasted
+    (attr_json blocking.attribution)
+    (attr_json streaming.attribution)
     (blocking.ok && streaming.ok);
   close_out oc;
   print_endline "  wrote BENCH_streaming.json"

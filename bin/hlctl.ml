@@ -46,7 +46,7 @@ let build_world engine ~nsegs ~nvolumes ~seg_blocks ~media =
       ~media:media_prof ~changer "jukebox0"
   in
   let fp = Footprint.create ~seg_blocks ~segs_per_volume [ jukebox ] in
-  Highlight.Hl.mkfs engine prm ~disk:(Dev.of_disk disk) ~fp ()
+  (Highlight.Hl.mkfs engine prm ~disk:(Dev.of_disk disk) ~fp (), jukebox)
 
 (* ---- devices ---- *)
 
@@ -81,7 +81,7 @@ let devices () =
 
 let layout nsegs nvolumes seg_blocks =
   in_sim (fun engine ->
-      let hl = build_world engine ~nsegs ~nvolumes ~seg_blocks ~media:`Mo in
+      let hl, _ = build_world engine ~nsegs ~nvolumes ~seg_blocks ~media:`Mo in
       let fs = Highlight.Hl.fs hl in
       ignore (Dir.mkdir fs "/demo");
       Highlight.Hl.write_file hl "/demo/a" (Bytes.create (seg_blocks * 4096 * 2));
@@ -130,12 +130,66 @@ let apply_readahead hl spec =
           Printf.eprintf "unknown --readahead %S (none|fixed:N|adaptive)\n" s;
           exit 1)
 
+(* [--profile] renders the closed-ledger summary: one row per request
+   class x category, blame-ranked, plus the class totals the rows
+   decompose. Percentages are of the class's end-to-end time, so the
+   category rows of a class sum to ~100 (idle gaps are impossible: sim
+   time only advances at charged block points). *)
+let print_profile () =
+  let t =
+    Util.Tablefmt.create ~title:"wait profile (per request class)"
+      ~header:[ "class"; "category"; "total"; "% of e2e"; "req"; "p95" ]
+  in
+  List.iteri
+    (fun i (cs : Sim.Ledger.class_summary) ->
+      if i > 0 then Util.Tablefmt.add_sep t;
+      Util.Tablefmt.add_row t
+        [
+          cs.Sim.Ledger.cls;
+          "(end to end)";
+          Util.Tablefmt.seconds cs.Sim.Ledger.e2e_total_s;
+          "100.0";
+          string_of_int cs.Sim.Ledger.requests;
+          Util.Tablefmt.seconds cs.Sim.Ledger.e2e_p95_s;
+        ];
+      List.iter
+        (fun (c : Sim.Ledger.cat_stat) ->
+          Util.Tablefmt.add_row t
+            [
+              "";
+              Sim.Ledger.category_name c.Sim.Ledger.cat;
+              Util.Tablefmt.seconds c.Sim.Ledger.total_s;
+              (if cs.Sim.Ledger.e2e_total_s > 0.0 then
+                 Printf.sprintf "%.1f" (100.0 *. c.Sim.Ledger.total_s /. cs.Sim.Ledger.e2e_total_s)
+               else "-");
+              string_of_int c.Sim.Ledger.count;
+              Util.Tablefmt.seconds c.Sim.Ledger.p95_s;
+            ])
+        cs.Sim.Ledger.by_category)
+    (Sim.Ledger.summary ());
+  Util.Tablefmt.print t
+
 let simulate nsegs nvolumes seg_blocks media files file_kb policy verbose trace_file
-    metrics_file faults readahead =
-  in_sim (fun engine ->
+    metrics_file faults readahead profile snapshots_file snapshot_period =
+  (* the profile and snapshot files are written after [in_sim] returns:
+     shutdown only drains the queues — in-flight transfers finish on
+     their own sim time, and their ledgers close after the main process
+     has already exited *)
+  let sampler = ref None in
+  let code =
+    in_sim (fun engine ->
       let tracer = Option.map (fun _ -> Sim.Trace.start engine) trace_file in
       let fault_plan = Option.map read_fault_plan faults in
-      let hl = build_world engine ~nsegs ~nvolumes ~seg_blocks ~media in
+      let hl, jukebox = build_world engine ~nsegs ~nvolumes ~seg_blocks ~media in
+      if profile <> None then
+        Sim.Ledger.install ~metrics:(Highlight.Hl.metrics hl) engine;
+      Option.iter
+        (fun _ ->
+          sampler :=
+            Some
+              (Sim.Snapshot.start engine ~metrics:(Highlight.Hl.metrics hl)
+                 ~period:snapshot_period ()))
+        snapshots_file;
       let ra = apply_readahead hl readahead in
       (* armed after mkfs: the plan targets the scenario, not the format,
          and the instance registry now exists for the fault counters *)
@@ -195,6 +249,10 @@ let simulate nsegs nvolumes seg_blocks media files file_kb policy verbose trace_
       in
       let victim = Printf.sprintf "/data/f%04d" (hunt 0) in
       Highlight.Hl.eject_tertiary_copies hl ~paths:[ victim ];
+      (* park the volumes too: the migration writes left the victim's
+         volume in a drive, and a fetch that skips the robot would
+         misrepresent what a cold tertiary access costs *)
+      Device.Jukebox.dismount jukebox;
       let t0 = Sim.Engine.now engine in
       ignore (Highlight.Hl.read_file hl victim ());
       let fetch_time = Sim.Engine.now engine -. t0 in
@@ -229,12 +287,18 @@ let simulate nsegs nvolumes seg_blocks media files file_kb policy verbose trace_
         print_string (Highlight.Hl_debug.render_hierarchy hl)
       end;
       Highlight.Hl.shutdown_service hl;
+      Option.iter Sim.Snapshot.stop !sampler;
       Option.iter
         (fun path ->
           Sim.Trace.stop ();
           let tr = Option.get tracer in
           Sim.Trace.write_file tr path;
-          Printf.printf "trace: %d events -> %s\n" (Sim.Trace.event_count tr) path)
+          Printf.printf "trace: %d events -> %s\n" (Sim.Trace.event_count tr) path;
+          if Sim.Trace.dropped tr > 0 then
+            Printf.eprintf
+              "warning: trace buffer overflowed, %d event(s) dropped — re-run with a \
+               larger buffer (Sim.Trace.start ~limit) for a complete trace\n"
+              (Sim.Trace.dropped tr))
         trace_file;
       Option.iter
         (fun path ->
@@ -249,12 +313,29 @@ let simulate nsegs nvolumes seg_blocks media files file_kb policy verbose trace_
       | probs ->
           List.iter print_endline probs;
           1)
+  in
+  Option.iter
+    (fun path ->
+      print_newline ();
+      print_profile ();
+      Sim.Ledger.write_file path;
+      Printf.printf "profile -> %s\n" path;
+      Sim.Ledger.uninstall ())
+    profile;
+  Option.iter
+    (fun path ->
+      let s = Option.get !sampler in
+      Sim.Snapshot.write_csv s path;
+      Printf.printf "snapshots: %d samples (every %.0fs) -> %s\n"
+        (Sim.Snapshot.length s) (Sim.Snapshot.period s) path)
+    snapshots_file;
+  code
 
 (* ---- fsck ---- *)
 
 let fsck nsegs nvolumes seg_blocks =
   in_sim (fun engine ->
-      let hl = build_world engine ~nsegs ~nvolumes ~seg_blocks ~media:`Mo in
+      let hl, _ = build_world engine ~nsegs ~nvolumes ~seg_blocks ~media:`Mo in
       let fs = Highlight.Hl.fs hl in
       let st = Highlight.Hl.state hl in
       let rng = Util.Rng.create 9 in
@@ -345,6 +426,25 @@ let faults_t =
                  (e.g. 'jukebox0:drive* read prob=0.05 media_error transient'; \
                  sites are the trace track names of this world's devices).")
 
+let profile_t =
+  Arg.(value & opt ~vopt:(Some "profile.json") (some string) None
+       & info [ "profile" ] ~docv:"FILE"
+           ~doc:"Attribute every request's latency to wait categories (queue, robot \
+                 swap, seek, transfer, bus, cache-disk landing, locks): prints the \
+                 wait-profile table and writes the JSON breakdown (default \
+                 profile.json).")
+
+let snapshots_t =
+  Arg.(value & opt (some string) None
+       & info [ "snapshots" ] ~docv:"FILE"
+           ~doc:"Sample the metrics registry periodically during the run and write \
+                 the time series as wide CSV (one row per sample).")
+
+let snapshot_period_t =
+  Arg.(value & opt float 60.0
+       & info [ "snapshot-period" ] ~docv:"SECONDS"
+           ~doc:"Simulated seconds between metric snapshots (with --snapshots).")
+
 let readahead_t =
   Arg.(value & opt string "none"
        & info [ "readahead" ] ~docv:"POLICY"
@@ -381,11 +481,12 @@ let () =
               Term.(const (fun lvl a b c -> setup_logs lvl; layout a b c)
                     $ log_t $ nsegs_t $ nvols_t $ segblocks_t);
             Cmd.v (Cmd.info "simulate" ~doc:"Run a write/migrate/fetch scenario")
-              Term.(const (fun lvl a b c d e f g h i j k l ->
+              Term.(const (fun lvl a b c d e f g h i j k l m n o ->
                         setup_logs lvl;
-                        simulate a b c d e f g h i j k l)
+                        simulate a b c d e f g h i j k l m n o)
                     $ log_t $ nsegs_t $ nvols_t $ segblocks_t $ media_t $ files_t $ filekb_t
-                    $ policy_t $ verbose_t $ trace_t $ metrics_t $ faults_t $ readahead_t);
+                    $ policy_t $ verbose_t $ trace_t $ metrics_t $ faults_t $ readahead_t
+                    $ profile_t $ snapshots_t $ snapshot_period_t);
             Cmd.v (Cmd.info "grow" ~doc:"Demonstrate on-line disk addition (dead-zone claiming)")
               Term.(const (fun lvl a b c d -> setup_logs lvl; grow a b c d)
                     $ log_t $ nsegs_t $ nvols_t $ segblocks_t

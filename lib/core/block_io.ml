@@ -137,6 +137,7 @@ let rec tertiary_read st ~blk ~count =
       line.Seg_cache.span_id <-
         Sim.Trace.async_begin ~track:"service" ~cat:"lifecycle" "demand-fetch"
           ~args:[ ("tindex", string_of_int tindex) ];
+      line.Seg_cache.ledger <- Sim.Ledger.open_request ~kind:"demand_fetch";
       State.submit st
         (Fetch { line; enqueued = Sim.Engine.now st.engine; is_prefetch = false });
       (* prefetch hints ride behind the demand fetch, asynchronously *)
@@ -156,6 +157,7 @@ let rec tertiary_read st ~blk ~count =
             line'.Seg_cache.span_id <-
               Sim.Trace.async_begin ~track:"service" ~cat:"lifecycle" "prefetch"
                 ~args:[ ("tindex", string_of_int tindex') ];
+            line'.Seg_cache.ledger <- Sim.Ledger.open_request ~kind:"prefetch";
             State.submit st
               (Fetch { line = line'; enqueued = Sim.Engine.now st.engine; is_prefetch = true })
           end)

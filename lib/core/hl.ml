@@ -290,7 +290,24 @@ type stats = {
   io_retries : int;
   io_failures : int;
   faults_injected : int;
+  attribution : (string * float) list;
 }
+
+(* Per-category blame summed over every request class, blame-ranked —
+   the top-level "where did the time go" of the wait-profile ledgers. *)
+let attribution_breakdown () =
+  let totals = Hashtbl.create 8 in
+  List.iter
+    (fun cs ->
+      List.iter
+        (fun (c : Sim.Ledger.cat_stat) ->
+          let k = Sim.Ledger.category_name c.Sim.Ledger.cat in
+          let prev = Option.value (Hashtbl.find_opt totals k) ~default:0.0 in
+          Hashtbl.replace totals k (prev +. c.Sim.Ledger.total_s))
+        cs.Sim.Ledger.by_category)
+    (Sim.Ledger.summary ());
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) totals []
+  |> List.sort (fun (ka, a) (kb, b) -> compare (b, ka) (a, kb))
 
 let stats t =
   let st = t.st in
@@ -341,6 +358,7 @@ let stats t =
     io_retries = count "service.retries";
     io_failures = count "service.io_failures";
     faults_injected = count "faults.injected";
+    attribution = attribution_breakdown ();
   }
 
 let reset_stats t =

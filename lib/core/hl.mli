@@ -177,6 +177,10 @@ type stats = {
   faults_injected : int;
       (** Faults fired by the ambient {!Sim.Fault} plan against this
           instance's devices (["faults.injected"]; 0 with no plan). *)
+  attribution : (string * float) list;
+      (** Wait-profile blame per {!Sim.Ledger} category (seconds, summed
+          over every request class, highest first); [] when no ledger
+          registry is installed. *)
 }
 
 val stats : t -> stats

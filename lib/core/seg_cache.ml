@@ -24,6 +24,10 @@ type line = {
   mutable span_id : int;
       (* async-span id of the in-flight fetch/write-out lifecycle
          ([Sim.Trace.async_begin]); -1 when no span is open *)
+  mutable ledger : Sim.Ledger.t;
+      (* wait-profile ledger of the in-flight fetch/write-out, riding
+         the line across dispatcher and worker processes like [span_id];
+         [Sim.Ledger.none] when no request is in flight *)
   mutable failed : string option;
       (* set (with the reason) when the in-flight fetch failed
          permanently; waiters on [ready] must check it and surface
@@ -97,6 +101,7 @@ let insert t ~tindex ~disk_seg ~state ~now =
       prefetched = false;
       ready = Sim.Condvar.create ();
       span_id = -1;
+      ledger = Sim.Ledger.none;
       failed = None;
     }
   in

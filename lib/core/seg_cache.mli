@@ -45,6 +45,10 @@ type line = {
   mutable span_id : int;
       (** async-span id of the in-flight fetch/write-out lifecycle
           ({!Sim.Trace.async_begin}); -1 when no span is open *)
+  mutable ledger : Sim.Ledger.t;
+      (** wait-profile ledger of the in-flight fetch/write-out, carried
+          across the dispatcher and worker processes like [span_id];
+          {!Sim.Ledger.none} when no request is in flight *)
   mutable failed : string option;
       (** reason the in-flight fetch failed permanently (the line is
           removed from the directory at the same moment, so a later

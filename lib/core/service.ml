@@ -231,7 +231,8 @@ let with_retries st ~what f =
           Sim.Metrics.incr (Sim.Metrics.counter st.metrics "service.retries");
           Sim.Trace.instant ~track:"service" ~cat:"fault" "retry"
             ~args:[ ("what", what); ("attempt", string_of_int attempt) ];
-          Sim.Engine.delay backoff;
+          (* backoff is queueing blame: the request is parked, not moving *)
+          Sim.Ledger.charged_active Sim.Ledger.Queue_wait (fun () -> Sim.Engine.delay backoff);
           go (attempt + 1) (Float.min (backoff *. 2.0) st.retry.backoff_cap)
         end
   in
@@ -253,6 +254,8 @@ let fail_fetch st line msg =
   Sim.Metrics.incr (Sim.Metrics.counter st.metrics "service.fetch_failures");
   Sim.Trace.async_end ~track:"service" line.Seg_cache.span_id ~args:[ ("failed", msg) ];
   line.Seg_cache.span_id <- -1;
+  Sim.Ledger.close line.Seg_cache.ledger;
+  line.Seg_cache.ledger <- Sim.Ledger.none;
   if line.Seg_cache.prefetched then st.on_prefetch_wasted line.Seg_cache.tindex;
   if line.Seg_cache.disk_seg >= 0 then
     Lfs.Fs.release_segment (fs st) line.Seg_cache.disk_seg;
@@ -273,6 +276,8 @@ let fail_writeout st ctx msg =
   Sim.Trace.async_end ~track:"service" ctx.w_line.Seg_cache.span_id
     ~args:[ ("failed", msg) ];
   ctx.w_line.Seg_cache.span_id <- -1;
+  Sim.Ledger.close ctx.w_line.Seg_cache.ledger;
+  ctx.w_line.Seg_cache.ledger <- Sim.Ledger.none;
   note_progress st;
   Sim.Condvar.broadcast ctx.w_done
 
@@ -304,6 +309,7 @@ let phased st phase f =
 let fetch_read st ctx =
   let line = ctx.f_line in
   Sim.Trace.async_instant line.Seg_cache.span_id ~args:[ ("phase", "tertiary-read") ];
+  Sim.Ledger.with_active line.Seg_cache.ledger @@ fun () ->
   with_retries st ~what:"fetch:tertiary-read" (fun () ->
       let source = pick_source st line.Seg_cache.tindex in
       Hl_log.Log.debug (fun m ->
@@ -329,6 +335,7 @@ let fetch_read st ctx =
                 Footprint.read_seg_stream st.fp ~vol ~seg ~chunk:st.stream_chunk_blocks
                   (fun ~off data ->
                     Bytes.blit data 0 image (off * bs) (Bytes.length data);
+                    if off = 0 then Sim.Ledger.mark_first_block line.Seg_cache.ledger;
                     if off <= line.Seg_cache.valid_blocks then begin
                       line.Seg_cache.valid_blocks <-
                         max line.Seg_cache.valid_blocks (off + (Bytes.length data / bs));
@@ -356,12 +363,16 @@ let attach_image st line image =
 let fetch_write st ctx image =
   let line = ctx.f_line in
   match
-    with_retries st ~what:"fetch:disk-write" (fun () ->
-        phased st `Disk (fun () ->
-            Sim.Trace.span ~cat:"service" "fetch:disk-write"
-              ~args:[ ("tindex", string_of_int line.Seg_cache.tindex) ]
-              (fun () ->
-                Block_io.raw_write_cache_line st ~disk_seg:line.Seg_cache.disk_seg image)))
+    (* the whole landing phase is cache-disk blame, whatever the disk
+       and bus instrumentation points would call it *)
+    Sim.Ledger.with_active ~redirect:Sim.Ledger.Cache_disk_write line.Seg_cache.ledger
+      (fun () ->
+        with_retries st ~what:"fetch:disk-write" (fun () ->
+            phased st `Disk (fun () ->
+                Sim.Trace.span ~cat:"service" "fetch:disk-write"
+                  ~args:[ ("tindex", string_of_int line.Seg_cache.tindex) ]
+                  (fun () ->
+                    Block_io.raw_write_cache_line st ~disk_seg:line.Seg_cache.disk_seg image))))
   with
   | Error _ as e -> e
   | Ok () ->
@@ -379,6 +390,11 @@ let fetch_write st ctx image =
           (now st -. ctx.f_enqueued);
       Sim.Trace.async_end ~track:"service" line.Seg_cache.span_id;
       line.Seg_cache.span_id <- -1;
+      (* blocking fetches deliver everything at once; idempotent for
+         streaming ones, which marked at the first chunk *)
+      Sim.Ledger.mark_first_block line.Seg_cache.ledger;
+      Sim.Ledger.close line.Seg_cache.ledger;
+      line.Seg_cache.ledger <- Sim.Ledger.none;
       Sim.Condvar.broadcast line.Seg_cache.ready;
       (* the line is evictable now: wake allocation waiters *)
       note_progress st;
@@ -389,6 +405,7 @@ let fetch_write st ctx image =
    cache disk. *)
 let writeout_read st ctx =
   Sim.Trace.async_instant ctx.w_line.Seg_cache.span_id ~args:[ ("phase", "disk-read") ];
+  Sim.Ledger.with_active ctx.w_line.Seg_cache.ledger @@ fun () ->
   with_retries st ~what:"writeout:disk-read" (fun () ->
       phased st `Disk (fun () ->
           Sim.Trace.span ~cat:"service" "writeout:disk-read"
@@ -402,6 +419,7 @@ let writeout_read st ctx =
 let rec writeout_write st ctx image =
   let line = ctx.w_line in
   let vol, seg = Addr_space.vol_seg_of_tindex st.aspace line.Seg_cache.tindex in
+  Sim.Ledger.with_active line.Seg_cache.ledger @@ fun () ->
   match
     with_retries st ~what:"writeout:tertiary-write" (fun () ->
         phased st `Tertiary (fun () ->
@@ -420,6 +438,8 @@ let rec writeout_write st ctx image =
       (match !(ctx.w_status) with Rehomed _ -> () | _ -> ctx.w_status := Done);
       Sim.Trace.async_end ~track:"service" line.Seg_cache.span_id;
       line.Seg_cache.span_id <- -1;
+      Sim.Ledger.close line.Seg_cache.ledger;
+      line.Seg_cache.ledger <- Sim.Ledger.none;
       st.on_writeout line.Seg_cache.tindex;
       note_progress st;
       Sim.Condvar.broadcast ctx.w_done;
@@ -442,10 +462,12 @@ let rec writeout_write st ctx image =
    drive while another volume's work — and its drive — sit idle; the
    per-volume write-out queues also mean a worker drains one volume's
    write-out batch back-to-back, amortizing robot swaps. *)
+(* Queue entries carry their push time, so the pop can charge the
+   interval to the request's ledger as [Queue_wait]. *)
 type vol_work = {
-  vw_urgent : (int * fetch_ctx) Queue.t;
-  vw_prefetch : (int * fetch_ctx) Queue.t;
-  vw_wo : (wo_ctx * Bytes.t) Queue.t;
+  vw_urgent : (int * float * fetch_ctx) Queue.t;
+  vw_prefetch : (int * float * fetch_ctx) Queue.t;
+  vw_wo : (float * wo_ctx * Bytes.t) Queue.t;
   mutable vw_claimed : bool;
 }
 
@@ -497,13 +519,13 @@ let tq_push_fetch st q ctx =
   let vw = tq_vol q vol in
   let seq = q.tq_seq in
   q.tq_seq <- seq + 1;
-  Queue.add (seq, ctx) (if ctx.f_urgent then vw.vw_urgent else vw.vw_prefetch);
+  Queue.add (seq, now st, ctx) (if ctx.f_urgent then vw.vw_urgent else vw.vw_prefetch);
   tq_note_depth st q vol;
   Sim.Condvar.broadcast q.tq_cv
 
 let tq_push_writeout st q ctx image =
   let vol, _ = Addr_space.vol_seg_of_tindex st.aspace ctx.w_line.Seg_cache.tindex in
-  Queue.add (ctx, image) (tq_vol q vol).vw_wo;
+  Queue.add (now st, ctx, image) (tq_vol q vol).vw_wo;
   tq_note_depth st q vol;
   Sim.Condvar.broadcast q.tq_cv
 
@@ -518,7 +540,7 @@ let tq_take st q =
       (fun vol vw ->
         if not vw.vw_claimed then
           match Queue.peek_opt (sel vw) with
-          | Some (seq, _) -> (
+          | Some (seq, _, _) -> (
               match !best with
               | Some (s, _) when s <= seq -> ()
               | _ -> best := Some (seq, vol))
@@ -527,7 +549,9 @@ let tq_take st q =
     Option.map
       (fun (_, vol) ->
         let vw = Hashtbl.find q.tq_vols vol in
-        (vol, T_fetch_read (snd (Queue.pop (sel vw)))))
+        let _, pushed, ctx = Queue.pop (sel vw) in
+        Sim.Ledger.charge_since ctx.f_line.Seg_cache.ledger Sim.Ledger.Queue_wait pushed;
+        (vol, T_fetch_read ctx))
       !best
   in
   let best_writeout () =
@@ -547,7 +571,8 @@ let tq_take st q =
     Option.map
       (fun (_, vol) ->
         let vw = Hashtbl.find q.tq_vols vol in
-        let ctx, image = Queue.pop vw.vw_wo in
+        let pushed, ctx, image = Queue.pop vw.vw_wo in
+        Sim.Ledger.charge_since ctx.w_line.Seg_cache.ledger Sim.Ledger.Queue_wait pushed;
         (vol, T_writeout_write (ctx, image)))
       !best
   in
@@ -582,8 +607,8 @@ type disk_job =
   | D_writeout_read of wo_ctx
 
 type diskq = {
-  dq_urgent : disk_job Queue.t;
-  dq_normal : disk_job Queue.t;
+  dq_urgent : (float * disk_job) Queue.t;
+  dq_normal : (float * disk_job) Queue.t;
   dq_cv : Sim.Condvar.t;
 }
 
@@ -596,22 +621,27 @@ let dq_note_depth st q =
   Sim.Trace.counter ~track:"diskq" ~cat:"service" "diskq.depth" (float_of_int depth)
 
 let dq_push st q ~urgent job =
-  (if urgent then Queue.add job q.dq_urgent else Queue.add job q.dq_normal);
+  (if urgent then Queue.add (now st, job) q.dq_urgent else Queue.add (now st, job) q.dq_normal);
   dq_note_depth st q;
   Sim.Condvar.signal q.dq_cv
+
+let dq_job_ledger = function
+  | D_fetch_write (ctx, _) -> ctx.f_line.Seg_cache.ledger
+  | D_writeout_read ctx -> ctx.w_line.Seg_cache.ledger
 
 let rec dq_pop st q =
   if st.stop_service then None
   else
+    let charge (pushed, job) =
+      Sim.Ledger.charge_since (dq_job_ledger job) Sim.Ledger.Queue_wait pushed;
+      dq_note_depth st q;
+      Some job
+    in
     match Queue.take_opt q.dq_urgent with
-    | Some job ->
-        dq_note_depth st q;
-        Some job
+    | Some e -> charge e
     | None -> (
         match Queue.take_opt q.dq_normal with
-        | Some job ->
-            dq_note_depth st q;
-            Some job
+        | Some e -> charge e
         | None ->
             Sim.Condvar.wait q.dq_cv;
             dq_pop st q)
@@ -621,6 +651,9 @@ let rec dq_pop st q =
    allocator. A reader that piggybacked on the Fetching line re-checks
    and issues a demand fetch. *)
 let cancel_prefetch st line =
+  (* speculative work that never ran: discard the ledger, don't fold it *)
+  Sim.Ledger.drop line.Seg_cache.ledger;
+  line.Seg_cache.ledger <- Sim.Ledger.none;
   Seg_cache.remove st.cache line;
   st.prefetches_dropped <- st.prefetches_dropped + 1;
   Sim.Metrics.incr (Sim.Metrics.counter st.metrics "prefetch.dropped");
@@ -714,6 +747,7 @@ let spawn_pipelined st =
             line.Seg_cache.disk_seg <- seg;
             Lfs.Segusage.set_cache_tag (Lfs.Fs.seguse (fs st)) seg line.Seg_cache.tindex;
             st.queue_time <- st.queue_time +. (now st -. enqueued);
+            Sim.Ledger.charge_since line.Seg_cache.ledger Sim.Ledger.Queue_wait enqueued;
             Sim.Trace.async_instant line.Seg_cache.span_id ~args:[ ("phase", "dispatch") ];
             tq_push_fetch st tq { f_line = line; f_urgent = urgent; f_enqueued = enqueued };
             true
@@ -742,6 +776,7 @@ let spawn_pipelined st =
               "service stopped"
         | Writeout { line; enqueued; status; done_cv } ->
             st.queue_time <- st.queue_time +. (now st -. enqueued);
+            Sim.Ledger.charge_since line.Seg_cache.ledger Sim.Ledger.Queue_wait enqueued;
             Sim.Trace.async_instant line.Seg_cache.span_id ~args:[ ("phase", "dispatch") ];
             dq_push st dq ~urgent:false
               (D_writeout_read { w_line = line; w_status = status; w_done = done_cv })
@@ -761,14 +796,15 @@ let spawn_pipelined st =
     let abort = "service stopped" in
     Hashtbl.iter
       (fun _ vw ->
-        Queue.iter (fun (_, ctx) -> fail_fetch st ctx.f_line abort) vw.vw_urgent;
+        Queue.iter (fun (_, _, ctx) -> fail_fetch st ctx.f_line abort) vw.vw_urgent;
         Queue.clear vw.vw_urgent;
-        Queue.iter (fun (_, ctx) -> fail_fetch st ctx.f_line abort) vw.vw_prefetch;
+        Queue.iter (fun (_, _, ctx) -> fail_fetch st ctx.f_line abort) vw.vw_prefetch;
         Queue.clear vw.vw_prefetch;
-        Queue.iter (fun (ctx, _) -> fail_writeout st ctx abort) vw.vw_wo;
+        Queue.iter (fun (_, ctx, _) -> fail_writeout st ctx abort) vw.vw_wo;
         Queue.clear vw.vw_wo)
       tq.tq_vols;
-    let abort_disk_job = function
+    let abort_disk_job (_, job) =
+      match job with
       | D_fetch_write (ctx, _) -> fail_fetch st ctx.f_line abort
       | D_writeout_read ctx -> fail_writeout st ctx abort
     in
@@ -878,6 +914,7 @@ let spawn_serial st =
             | Some seg ->
                 failures := 0;
                 st.queue_time <- st.queue_time +. (now st -. enqueued);
+                Sim.Ledger.charge_since line.Seg_cache.ledger Sim.Ledger.Queue_wait enqueued;
                 line.Seg_cache.disk_seg <- seg;
                 Lfs.Segusage.set_cache_tag (Lfs.Fs.seguse (fs st)) seg line.Seg_cache.tindex;
                 Sim.Trace.async_instant line.Seg_cache.span_id ~args:[ ("phase", "dispatch") ];
@@ -896,6 +933,7 @@ let spawn_serial st =
         | Some (Writeout { line; enqueued; status; done_cv }) ->
             failures := 0;
             st.queue_time <- st.queue_time +. (now st -. enqueued);
+            Sim.Ledger.charge_since line.Seg_cache.ledger Sim.Ledger.Queue_wait enqueued;
             Sim.Trace.async_instant line.Seg_cache.span_id ~args:[ ("phase", "dispatch") ];
             let cv = Sim.Condvar.create () in
             Sim.Mailbox.send io_mb
@@ -946,6 +984,7 @@ let request_writeout st line =
   line.Seg_cache.span_id <-
     Sim.Trace.async_begin ~track:"service" ~cat:"lifecycle" "writeout"
       ~args:[ ("tindex", string_of_int line.Seg_cache.tindex) ];
+  line.Seg_cache.ledger <- Sim.Ledger.open_request ~kind:"writeout";
   submit st (Writeout { line; enqueued = now st; status; done_cv });
   { status; done_cv }
 

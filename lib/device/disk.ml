@@ -84,7 +84,7 @@ let create engine ?bus ?nblocks prof ~name =
     label = name;
     prof;
     store = Blockstore.create ~block_size:prof.block_size ~nblocks;
-    res = Resource.create engine ("disk:" ^ name);
+    res = Resource.create engine ~wait_category:Ledger.Queue_wait ("disk:" ^ name);
     bus;
     arm = 0;
     n_reads = 0;
@@ -116,14 +116,16 @@ let chunk_io t ~blk ~count ~rate ~op =
       let track = "disk:" ^ t.label in
       Trace.span ~track ~cat:"disk" "position"
         ~args:[ ("seek_blocks", string_of_int dist) ]
-        (fun () -> Engine.delay (t.prof.op_overhead +. seek +. rot));
+        (fun () ->
+          Ledger.charged_active Ledger.Seek_rotate (fun () ->
+              Engine.delay (t.prof.op_overhead +. seek +. rot)));
       let xfer = float_of_int (count * t.prof.block_size) /. rate in
       Trace.span ~track ~cat:"disk" op
         ~args:[ ("blk", string_of_int blk); ("blocks", string_of_int count) ]
         (fun () ->
           match t.bus with
           | Some bus -> Scsi_bus.transfer bus xfer
-          | None -> Engine.delay xfer);
+          | None -> Ledger.charged_active Ledger.Transfer (fun () -> Engine.delay xfer));
       t.arm <- blk + count)
 
 let split_io t ~blk ~count ~rate ~op =

@@ -99,15 +99,15 @@ let create engine ?bus ?vol_capacity ~drives ~nvolumes ~media ~changer label =
           let dname = Printf.sprintf "%s:drive%d" label id in
           {
             id;
-            res = Resource.create engine dname;
+            res = Resource.create engine ~wait_category:Ledger.Queue_wait dname;
             track = dname;
             assigned = None;
             physical = None;
             pos = 0;
             last_use = 0.0;
           });
-    robot = Resource.create engine (label ^ ":robot");
-    mutex = Resource.create engine (label ^ ":mutex");
+    robot = Resource.create engine ~wait_category:Ledger.Robot_swap (label ^ ":robot");
+    mutex = Resource.create engine ~wait_category:Ledger.Lock_wait (label ^ ":mutex");
     write_drive_reserved = false;
     n_swaps = 0;
     swap_total = 0.0;
@@ -134,6 +134,20 @@ let drive_alive d = not (Fault.site_dead d.track)
 
 let loaded t = Array.map (fun d -> if drive_alive d then d.physical else None) t.drives
 let volume_store t vol = t.volumes.(vol)
+
+(* Park every volume back in the rack, instantly: an idle-dismount knob
+   for scenarios that need the next access to pay the full swap (the
+   robot's return trips happen off the data path, so no time passes and
+   no swap is counted). Only valid while the jukebox is quiescent. *)
+let dismount t =
+  Array.iter
+    (fun d ->
+      if Resource.in_use d.res > 0 then
+        invalid_arg "Jukebox.dismount: drive busy (in-flight request)";
+      d.assigned <- None;
+      d.physical <- None;
+      d.pos <- 0)
+    t.drives
 
 let erase_volume t vol =
   if t.prof.kind = Worm then invalid_arg "Jukebox.erase_volume: WORM media cannot be erased";
@@ -190,7 +204,9 @@ let swap t d vol =
             ("load", string_of_int vol);
           ]
         (fun () ->
-          let move () = Engine.delay t.changer.swap_time in
+          let move () =
+            Ledger.charged_active Ledger.Robot_swap (fun () -> Engine.delay t.changer.swap_time)
+          in
           match t.bus with
           | Some bus when t.changer.hogs_bus -> Resource.with_resource (Scsi_bus.resource bus) move
           | _ -> move ());
@@ -256,7 +272,8 @@ let position_and_transfer ?(chunk = chunk_blocks) ?on_chunk t d ~blk ~count ~rat
         Trace.span ~track:d.track ~cat:"jukebox" "position"
           ~args:[ ("seek_blocks", string_of_int dist) ]
           (fun () ->
-            Engine.delay (t.prof.seek_const +. (t.prof.seek_per_block *. float_of_int dist)))
+            Ledger.charged_active Ledger.Seek_rotate (fun () ->
+                Engine.delay (t.prof.seek_const +. (t.prof.seek_per_block *. float_of_int dist))))
       end;
       let xfer = float_of_int (n * t.prof.block_size) /. rate in
       Trace.span ~track:d.track ~cat:"jukebox" op
@@ -264,7 +281,7 @@ let position_and_transfer ?(chunk = chunk_blocks) ?on_chunk t d ~blk ~count ~rat
         (fun () ->
           match t.bus with
           | Some bus -> Scsi_bus.transfer bus xfer
-          | None -> Engine.delay xfer);
+          | None -> Ledger.charged_active Ledger.Transfer (fun () -> Engine.delay xfer));
       d.pos <- blk + n;
       Option.iter (fun f -> f ~blk ~n) on_chunk;
       go (blk + n) (count - n)

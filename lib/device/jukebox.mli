@@ -85,6 +85,12 @@ val reserve_write_drive : t -> bool -> unit
 val loaded : t -> int option array
 (** Volume currently in each drive. *)
 
+val dismount : t -> unit
+(** Parks every volume back in the rack, instantly and without counting
+    a swap (the robot's return trips are off the data path): scenario
+    support for forcing the next access to pay a full cold-volume swap.
+    Fails if any drive has a request in flight. *)
+
 val volume_store : t -> int -> Blockstore.t
 (** Backing bytes of a volume, bypassing timing (debug/fsck only). *)
 

@@ -1,12 +1,14 @@
 type t = { res : Sim.Resource.t }
 
-let create engine name = { res = Sim.Resource.create engine ("scsi:" ^ name) }
+let create engine name =
+  { res = Sim.Resource.create engine ~wait_category:Sim.Ledger.Bus_contention ("scsi:" ^ name) }
+
 let resource t = t.res
 
 let transfer t duration =
   Sim.Fault.check ~site:(Sim.Resource.name t.res) Sim.Fault.Transfer;
   Sim.Resource.with_resource t.res (fun () ->
       Sim.Trace.span ~track:(Sim.Resource.name t.res) ~cat:"bus" "xfer" (fun () ->
-          Sim.Engine.delay duration))
+          Sim.Ledger.charged_active Sim.Ledger.Transfer (fun () -> Sim.Engine.delay duration)))
 
 let utilization t = Sim.Resource.utilization t.res

@@ -1,7 +1,10 @@
 type t = { queue : (unit -> unit) Queue.t }
 
 let create () = { queue = Queue.create () }
-let wait t = Engine.suspend (fun wake -> Queue.add wake t.queue)
+
+let wait ?charge t =
+  let park () = Engine.suspend (fun wake -> Queue.add wake t.queue) in
+  match charge with None -> park () | Some cat -> Ledger.charged_active cat park
 
 let signal t = match Queue.take_opt t.queue with None -> () | Some wake -> wake ()
 

@@ -7,7 +7,11 @@
 type t
 
 val create : unit -> t
-val wait : t -> unit
+
+val wait : ?charge:Ledger.category -> t -> unit
+(** With [charge], the wait is billed to that category on the waiting
+    process's active {!Ledger}, if any. *)
+
 val signal : t -> unit
 
 val broadcast : t -> unit

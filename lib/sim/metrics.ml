@@ -132,10 +132,14 @@ let reset t =
 
 let find_histogram t name = Hashtbl.find_opt t.histograms name
 
-let iter_histograms t f =
-  Hashtbl.fold (fun name h acc -> (name, h) :: acc) t.histograms []
+let iter_sorted tbl f =
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) tbl []
   |> List.sort compare
-  |> List.iter (fun (name, h) -> f name h)
+  |> List.iter (fun (name, v) -> f name v)
+
+let iter_histograms t f = iter_sorted t.histograms f
+let iter_counters t f = iter_sorted t.counters f
+let iter_gauges t f = iter_sorted t.gauges f
 
 (* ---------- JSON export ---------- *)
 
@@ -163,13 +167,28 @@ let to_json t =
       if i > 0 then Buffer.add_char b ',';
       let n = observations h in
       if n = 0 then Buffer.add_string b (Printf.sprintf "\n    \"%s\": { \"count\": 0 }" name)
-      else
+      else begin
         Buffer.add_string b
           (Printf.sprintf
              "\n    \"%s\": { \"count\": %d, \"mean\": %.6g, \"stddev\": %.6g, \"min\": %.6g, \
-              \"max\": %.6g, \"p50\": %.6g, \"p95\": %.6g, \"p99\": %.6g }"
+              \"max\": %.6g, \"p50\": %.6g, \"p95\": %.6g, \"p99\": %.6g, \"base\": %.6g, \
+              \"buckets\": {"
              name n (hist_mean h) (hist_stddev h) (hist_min h) (hist_max h) (percentile h 0.50)
-             (percentile h 0.95) (percentile h 0.99)))
+             (percentile h 0.95) (percentile h 0.99) h.base);
+        (* non-empty buckets only, index-ascending ("-1" = underflow):
+           enough to rebuild the full distribution, not just p50/95/99 *)
+        let first = ref true in
+        let put i c =
+          if c > 0 then begin
+            if not !first then Buffer.add_string b ", ";
+            first := false;
+            Buffer.add_string b (Printf.sprintf "\"%d\": %d" i c)
+          end
+        in
+        put (-1) h.underflow;
+        Array.iteri put h.buckets;
+        Buffer.add_string b "} }"
+      end)
     (sorted_bindings t.histograms);
   Buffer.add_string b "\n  }\n}\n";
   Buffer.contents b

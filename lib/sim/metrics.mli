@@ -64,8 +64,13 @@ val merge_histogram : histogram -> histogram -> unit
     moments); [src] is unchanged. The bases must match. *)
 
 val find_histogram : t -> string -> histogram option
+
 val iter_histograms : t -> (string -> histogram -> unit) -> unit
 (** In name order. *)
+
+val iter_counters : t -> (string -> counter -> unit) -> unit
+val iter_gauges : t -> (string -> gauge -> unit) -> unit
+(** In name order (snapshot/export support). *)
 
 (** {1 Lifecycle and export} *)
 
@@ -73,7 +78,9 @@ val reset : t -> unit
 (** Zeroes every instrument, keeping the registrations. *)
 
 val to_json : t -> string
-(** Instruments sorted by name; histograms report count, moments and
-    p50/p95/p99. *)
+(** Instruments sorted by name; histograms report count, moments,
+    p50/p95/p99, the bucket base and the non-empty per-bucket counts
+    (index-ascending, ["-1"] = underflow) so an export can rebuild the
+    full distribution. *)
 
 val write_file : t -> string -> unit

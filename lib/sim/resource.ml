@@ -2,6 +2,7 @@ type t = {
   engine : Engine.t;
   label : string;
   capacity : int;
+  wait_category : Ledger.category option;
   mutable held : int;
   waiting : (unit -> unit) Queue.t;
   created_at : float;
@@ -9,12 +10,13 @@ type t = {
   mutable busy_since : float;
 }
 
-let create engine ?(capacity = 1) label =
+let create engine ?(capacity = 1) ?wait_category label =
   if capacity <= 0 then invalid_arg "Resource.create: capacity must be positive";
   {
     engine;
     label;
     capacity;
+    wait_category;
     held = 0;
     waiting = Queue.create ();
     created_at = Engine.now engine;
@@ -32,7 +34,12 @@ let acquire t =
     if t.held = 0 then t.busy_since <- Engine.now t.engine;
     t.held <- t.held + 1
   end
-  else Engine.suspend (fun wake -> Queue.add wake t.waiting)
+  else begin
+    let park () = Engine.suspend (fun wake -> Queue.add wake t.waiting) in
+    match t.wait_category with
+    | None -> park ()
+    | Some cat -> Ledger.charged_active cat park
+  end
 
 let release t =
   if t.held <= 0 then invalid_arg "Resource.release: not held";

@@ -4,8 +4,11 @@
 
 type t
 
-val create : Engine.t -> ?capacity:int -> string -> t
-(** [capacity] defaults to 1. *)
+val create : Engine.t -> ?capacity:int -> ?wait_category:Ledger.category -> string -> t
+(** [capacity] defaults to 1. With [wait_category], time a process
+    spends blocked in {!acquire} is charged to that category on the
+    active {!Ledger} of the waiting process (no-op when no ledger layer
+    is installed or no request is active). *)
 
 val name : t -> string
 

@@ -4,6 +4,12 @@
    the end. This is the harness that found the FINFO-ordering and
    space-liveness bugs; it should always print "clean run".
 
+   A metrics sampler snapshots the registry every 10 simulated minutes
+   over the whole soak (cache hits/misses, queue-depth high-water,
+   latency percentiles per interval) and writes the time series to
+   SOAK_snapshots.csv — the view that shows a slow leak or a queue
+   ratchet which the end-of-run totals would average away.
+
      dune exec soak/soak.exe *)
 
 open Lfs
@@ -12,6 +18,7 @@ open Workload
 let () =
   let engine = Sim.Engine.create () in
   let result = ref None in
+  let sampler = ref None in
   Sim.Engine.spawn engine (fun () ->
       let prm = { Soak_config.paper_prm with Param.nsegs = 24; max_inodes = 1024 } in
       let disk = Device.Disk.create engine Device.Disk.rz57 ~name:"rz57" in
@@ -21,6 +28,9 @@ let () =
       in
       let fp = Footprint.create ~seg_blocks:256 ~segs_per_volume:24 [ jb ] in
       let hl = Highlight.Hl.mkfs engine prm ~disk:(Dev.of_disk disk) ~fp ~cache_segs:6 () in
+      sampler :=
+        Some
+          (Sim.Snapshot.start engine ~metrics:(Highlight.Hl.metrics hl) ~period:600.0 ());
       let fs = Highlight.Hl.fs hl in
       let st = Highlight.Hl.state hl in
       ignore (Dir.mkdir fs "/archive");
@@ -80,6 +90,13 @@ let () =
            Printf.eprintf "CORRUPT at end:\n";
            List.iter (fun p -> Printf.eprintf "  %s\n" p) probs;
            exit 2);
+      Sim.Snapshot.stop (Option.get !sampler);
       result := Some ());
   Sim.Engine.run engine;
+  (match !sampler with
+  | Some s ->
+      Sim.Snapshot.write_csv s "SOAK_snapshots.csv";
+      Printf.printf "snapshots: %d samples (every %.0fs) -> SOAK_snapshots.csv\n"
+        (Sim.Snapshot.length s) (Sim.Snapshot.period s)
+  | None -> ());
   match !result with Some () -> print_endline "clean run" | None -> (print_endline "did not finish"; exit 3)

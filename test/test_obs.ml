@@ -193,6 +193,85 @@ let test_metrics_json () =
     (fun needle -> check Alcotest.bool (needle ^ " present") true (contains js needle))
     [ "highlight-metrics/v1"; "\"reqs\": 1"; "\"depth\""; "\"lat\""; "\"p95\"" ]
 
+let test_metrics_json_buckets () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "lat" in
+  (* 0.01 lands in bucket 13 of the 1e-6 base (8192e-6 <= 0.01 < 16384e-6);
+     1e-9 is below base, so it counts in the "-1" underflow bucket *)
+  List.iter (Metrics.observe h) [ 0.01; 0.01; 1e-9 ];
+  let js = Metrics.to_json m in
+  List.iter
+    (fun needle -> check Alcotest.bool (needle ^ " present") true (contains js needle))
+    [ "\"base\": 1e-06"; "\"buckets\": {"; "\"-1\": 1"; "\"13\": 2" ];
+  (* empty buckets are skipped: the two entries above are the whole map *)
+  check Alcotest.bool "no neighbouring empty bucket emitted" false (contains js "\"12\":");
+  check Alcotest.string "bucket map is exactly the two non-empty entries"
+    "{\"-1\": 1, \"13\": 2}"
+    (let i =
+       let rec find j =
+         if String.sub js j 10 = "\"buckets\":" then j + 11 else find (j + 1)
+       in
+       find 0
+     in
+     String.sub js i (String.index_from js i '}' - i + 1))
+
+let test_percentile_edges () =
+  let m = Metrics.create () in
+  (* a single observation is every percentile *)
+  let one = Metrics.histogram m "one" in
+  Metrics.observe one 0.25;
+  List.iter
+    (fun q ->
+      check (Alcotest.float 1e-9)
+        (Printf.sprintf "single obs: p%g" (q *. 100.0))
+        0.25 (Metrics.percentile one q))
+    [ 0.0; 0.01; 0.5; 0.99; 1.0 ];
+  (* all-equal observations: the log-bucket midpoint must clamp to the
+     observed value, not report the bucket's geometric centre *)
+  let eq = Metrics.histogram m "eq" in
+  for _ = 1 to 57 do
+    Metrics.observe eq 3.0
+  done;
+  List.iter
+    (fun q ->
+      check (Alcotest.float 1e-9)
+        (Printf.sprintf "all equal: p%g" (q *. 100.0))
+        3.0 (Metrics.percentile eq q))
+    [ 0.0; 0.25; 0.5; 0.95; 1.0 ];
+  (* observations entirely below the base all sit in the underflow
+     bucket, whose representative is the tracked minimum *)
+  let uf = Metrics.histogram m "uf" in
+  List.iter (Metrics.observe uf) [ 1e-9; 2e-9; 5e-10 ];
+  check Alcotest.int "all in underflow" (-1) (Metrics.bucket_index uf 1e-9);
+  List.iter
+    (fun q ->
+      check (Alcotest.float 1e-15)
+        (Printf.sprintf "underflow only: p%g" (q *. 100.0))
+        5e-10 (Metrics.percentile uf q))
+    [ 0.0; 0.5; 1.0 ]
+
+let prop_merge_then_percentile =
+  QCheck.Test.make ~name:"merge_histogram then percentile == percentile of the union"
+    ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 40) (float_bound_inclusive 20.0))
+        (list_of_size Gen.(1 -- 40) (float_bound_inclusive 20.0)))
+    (fun (xs, ys) ->
+      let m = Metrics.create () in
+      let a = Metrics.histogram m "a"
+      and b = Metrics.histogram m "b"
+      and union = Metrics.histogram m "u" in
+      List.iter (Metrics.observe a) xs;
+      List.iter (Metrics.observe b) ys;
+      List.iter (Metrics.observe union) (xs @ ys);
+      Metrics.merge_histogram a b;
+      Metrics.observations a = Metrics.observations union
+      && List.for_all
+           (fun q ->
+             Float.abs (Metrics.percentile a q -. Metrics.percentile union q) <= 1e-12)
+           [ 0.0; 0.1; 0.25; 0.5; 0.9; 0.95; 0.99; 1.0 ])
+
 (* --- Chrome trace export --- *)
 
 (* A tiny fully-deterministic scenario; its export is pinned byte for
@@ -382,7 +461,10 @@ let suite =
         Alcotest.test_case "percentiles of a known mix" `Quick test_percentiles_known;
         Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
         Alcotest.test_case "json export" `Quick test_metrics_json;
+        Alcotest.test_case "json bucket map" `Quick test_metrics_json_buckets;
+        Alcotest.test_case "percentile edge cases" `Quick test_percentile_edges;
         QCheck_alcotest.to_alcotest prop_percentile_monotone;
+        QCheck_alcotest.to_alcotest prop_merge_then_percentile;
       ] );
     ( "obs.trace",
       [
