@@ -30,6 +30,7 @@ let targets : (string * string * (unit -> unit)) list =
     ("ablate-rearrange", "tertiary rearrangement on co-access (paper 5.4)", Ablations.run_rearrange);
     ("bakeoff", "HighLight vs Jaquith+FFS on the same archival trace", Bakeoff.run);
     ("micro", "Bechamel micro-benchmarks of hot paths", Micro.run);
+    ("engine", "events/sec + minor-words/event vs the pre-PR engine", Engine_bench.run);
   ]
 
 (* One record per executed target: simulated seconds consumed by its

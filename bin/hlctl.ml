@@ -11,8 +11,13 @@
 open Cmdliner
 open Lfs
 
+(* stashed by [in_sim] so the [--gc-stats] report can read the event
+   count after the run *)
+let last_engine = ref None
+
 let in_sim f =
   let engine = Sim.Engine.create () in
+  last_engine := Some engine;
   let result = ref None in
   Sim.Engine.spawn engine ~name:"hlctl-main" (fun () -> result := Some (f engine));
   Sim.Engine.run engine;
@@ -24,6 +29,39 @@ let in_sim f =
       Printf.eprintf "warning: %d process(es) still blocked at end of simulation: %s\n"
         (List.length names) (String.concat ", " names));
   match !result with Some r -> r | None -> failwith "simulation did not complete"
+
+(* [--gc-stats] wraps the run and reports real-machine cost: retired
+   events, CPU seconds, and allocation per event — the numbers the
+   engine fast path moves. *)
+let with_gc_stats enabled f =
+  if not enabled then f ()
+  else begin
+    let g0 = Gc.quick_stat () in
+    let t0 = Sys.time () in
+    let code = f () in
+    let cpu = Sys.time () -. t0 in
+    let g1 = Gc.quick_stat () in
+    let events, sim_s =
+      match !last_engine with
+      | Some e -> (Sim.Engine.events_retired e, Sim.Engine.now e)
+      | None -> (0, 0.0)
+    in
+    let minor = g1.Gc.minor_words -. g0.Gc.minor_words in
+    let major = g1.Gc.major_words -. g0.Gc.major_words in
+    Printf.printf
+      "gc-stats: %d events in %.3fs cpu (%.0f events/sec; %.1f sim-s per cpu-s)\n" events cpu
+      (if cpu > 0.0 then float_of_int events /. cpu else 0.0)
+      (if cpu > 0.0 then sim_s /. cpu else 0.0);
+    Printf.printf
+      "gc-stats: minor words %.3e (%.1f/event)   major words %.3e   collections %d minor / %d \
+       major\n"
+      minor
+      (if events > 0 then minor /. float_of_int events else 0.0)
+      major
+      (g1.Gc.minor_collections - g0.Gc.minor_collections)
+      (g1.Gc.major_collections - g0.Gc.major_collections);
+    code
+  end
 
 let build_world engine ~nsegs ~nvolumes ~seg_blocks ~media =
   let prm =
@@ -170,13 +208,14 @@ let print_profile () =
   Util.Tablefmt.print t
 
 let simulate nsegs nvolumes seg_blocks media files file_kb policy verbose trace_file
-    metrics_file faults readahead profile snapshots_file snapshot_period =
+    metrics_file faults readahead profile snapshots_file snapshot_period gc_stats =
   (* the profile and snapshot files are written after [in_sim] returns:
      shutdown only drains the queues — in-flight transfers finish on
      their own sim time, and their ledgers close after the main process
      has already exited *)
   let sampler = ref None in
   let code =
+    with_gc_stats gc_stats @@ fun () ->
     in_sim (fun engine ->
       let tracer = Option.map (fun _ -> Sim.Trace.start engine) trace_file in
       let fault_plan = Option.map read_fault_plan faults in
@@ -445,6 +484,12 @@ let snapshot_period_t =
        & info [ "snapshot-period" ] ~docv:"SECONDS"
            ~doc:"Simulated seconds between metric snapshots (with --snapshots).")
 
+let gcstats_t =
+  Arg.(value & flag
+       & info [ "gc-stats" ]
+           ~doc:"Report real-machine cost after the run: retired simulator events, CPU \
+                 time, events/sec, and GC allocation per event.")
+
 let readahead_t =
   Arg.(value & opt string "none"
        & info [ "readahead" ] ~docv:"POLICY"
@@ -481,12 +526,12 @@ let () =
               Term.(const (fun lvl a b c -> setup_logs lvl; layout a b c)
                     $ log_t $ nsegs_t $ nvols_t $ segblocks_t);
             Cmd.v (Cmd.info "simulate" ~doc:"Run a write/migrate/fetch scenario")
-              Term.(const (fun lvl a b c d e f g h i j k l m n o ->
+              Term.(const (fun lvl a b c d e f g h i j k l m n o p ->
                         setup_logs lvl;
-                        simulate a b c d e f g h i j k l m n o)
+                        simulate a b c d e f g h i j k l m n o p)
                     $ log_t $ nsegs_t $ nvols_t $ segblocks_t $ media_t $ files_t $ filekb_t
                     $ policy_t $ verbose_t $ trace_t $ metrics_t $ faults_t $ readahead_t
-                    $ profile_t $ snapshots_t $ snapshot_period_t);
+                    $ profile_t $ snapshots_t $ snapshot_period_t $ gcstats_t);
             Cmd.v (Cmd.info "grow" ~doc:"Demonstrate on-line disk addition (dead-zone claiming)")
               Term.(const (fun lvl a b c d -> setup_logs lvl; grow a b c d)
                     $ log_t $ nsegs_t $ nvols_t $ segblocks_t

@@ -208,9 +208,32 @@ let dev st =
         (Printf.sprintf
            "Block_io: tertiary address %d is not writable through the block map" blk)
   in
+  let read_into ~blk ~count ~dst ~dst_off =
+    if Addr_space.is_disk st.aspace blk then
+      retried st ~what:"log read" (fun () ->
+          st.disk.Lfs.Dev.read_into ~blk ~count ~dst ~dst_off)
+    else begin
+      (* tertiary reads route through the cache-line machinery, which
+         serves from a pinned image or the cache disk; one blit at the
+         end keeps those paths simple *)
+      let data = read ~blk ~count in
+      Bytes.blit data 0 dst dst_off (Bytes.length data)
+    end
+  in
+  let write_from ~blk ~src ~src_off ~count =
+    if Addr_space.is_disk st.aspace blk then
+      retried st ~what:"log write" (fun () ->
+          st.disk.Lfs.Dev.write_from ~blk ~src ~src_off ~count)
+    else
+      invalid_arg
+        (Printf.sprintf
+           "Block_io: tertiary address %d is not writable through the block map" blk)
+  in
   {
     Lfs.Dev.nblocks = Addr_space.total_blocks st.aspace;
     block_size = st.disk.Lfs.Dev.block_size;
     read;
     write;
+    read_into;
+    write_from;
   }

@@ -61,7 +61,12 @@ let create ?(policy = Lru) ?(seed = 1993) ~max_lines () =
     pol = policy;
     rng = Util.Rng.create seed;
     max = max_lines;
-    lru = Util.Heap.create ~cmp:(fun (a, _) (b, _) -> compare a b);
+    (* timestamps are floats: Float.compare, not polymorphic compare,
+       and the lazy-deletion heap holds ~2 entries per line *)
+    lru =
+      Util.Heap.create ~capacity:(2 * max_lines)
+        ~cmp:(fun (a, _) (b, _) -> Float.compare a b)
+        ();
     n_hits = 0;
     n_misses = 0;
     n_evictions = 0;

@@ -321,9 +321,13 @@ let fetch_read st ctx =
             ~args:
               [ ("tindex", string_of_int line.Seg_cache.tindex); ("vol", string_of_int vol) ]
             (fun () ->
-              if not st.streaming_fetch then Footprint.read_seg st.fp ~vol ~seg
+              let bs = Footprint.block_size st.fp in
+              if not st.streaming_fetch then begin
+                let image = Bytes.create (seg_blocks st * bs) in
+                Footprint.read_seg_into st.fp ~vol ~seg ~dst:image ~dst_off:0;
+                image
+              end
               else begin
-                let bs = Footprint.block_size st.fp in
                 let image =
                   match line.Seg_cache.image with
                   | Some img -> img (* retry: keep buffer and watermark *)
@@ -332,13 +336,16 @@ let fetch_read st ctx =
                       line.Seg_cache.image <- Some img;
                       img
                 in
-                Footprint.read_seg_stream st.fp ~vol ~seg ~chunk:st.stream_chunk_blocks
-                  (fun ~off data ->
-                    Bytes.blit data 0 image (off * bs) (Bytes.length data);
+                (* each chunk lands at its final offset in the image
+                   before the callback runs — one store→image copy, no
+                   per-chunk buffers *)
+                Footprint.read_seg_stream_into st.fp ~vol ~seg ~chunk:st.stream_chunk_blocks
+                  ~dst:image ~dst_off:0
+                  (fun ~off ~blocks ->
                     if off = 0 then Sim.Ledger.mark_first_block line.Seg_cache.ledger;
                     if off <= line.Seg_cache.valid_blocks then begin
                       line.Seg_cache.valid_blocks <-
-                        max line.Seg_cache.valid_blocks (off + (Bytes.length data / bs));
+                        max line.Seg_cache.valid_blocks (off + blocks);
                       Sim.Condvar.broadcast line.Seg_cache.ready
                     end);
                 image
@@ -469,6 +476,8 @@ type vol_work = {
   vw_prefetch : (int * float * fetch_ctx) Queue.t;
   vw_wo : (float * wo_ctx * Bytes.t) Queue.t;
   mutable vw_claimed : bool;
+  vw_depth_name : string; (* "tertq.vol<N>.depth", formatted once *)
+  mutable vw_depth_gauge : Sim.Metrics.gauge option; (* resolved on first use *)
 }
 
 type tert_job =
@@ -493,6 +502,8 @@ let tq_vol q vol =
           vw_prefetch = Queue.create ();
           vw_wo = Queue.create ();
           vw_claimed = false;
+          vw_depth_name = Printf.sprintf "tertq.vol%d.depth" vol;
+          vw_depth_gauge = None;
         }
       in
       Hashtbl.replace q.tq_vols vol vw;
@@ -510,9 +521,19 @@ let tq_note_depth st q vol =
   let depth =
     Queue.length vw.vw_urgent + Queue.length vw.vw_prefetch + Queue.length vw.vw_wo
   in
-  let name = Printf.sprintf "tertq.vol%d.depth" vol in
-  Sim.Metrics.set (Sim.Metrics.gauge st.metrics name) (float_of_int depth);
-  Sim.Trace.counter ~track:"tertq" ~cat:"service" name (float_of_int depth)
+  (* name formatted once per volume, gauge resolved once per volume:
+     this runs on every push and pop *)
+  let g =
+    match vw.vw_depth_gauge with
+    | Some g -> g
+    | None ->
+        let g = Sim.Metrics.gauge st.metrics vw.vw_depth_name in
+        vw.vw_depth_gauge <- Some g;
+        g
+  in
+  Sim.Metrics.set g (float_of_int depth);
+  if Sim.Trace.enabled () then
+    Sim.Trace.counter ~track:"tertq" ~cat:"service" vw.vw_depth_name (float_of_int depth)
 
 let tq_push_fetch st q ctx =
   let vol = fetch_vol st ctx in
@@ -618,7 +639,8 @@ let dq_create () =
 let dq_note_depth st q =
   let depth = Queue.length q.dq_urgent + Queue.length q.dq_normal in
   Sim.Metrics.set (Sim.Metrics.gauge st.metrics "diskq.depth") (float_of_int depth);
-  Sim.Trace.counter ~track:"diskq" ~cat:"service" "diskq.depth" (float_of_int depth)
+  if Sim.Trace.enabled () then
+    Sim.Trace.counter ~track:"diskq" ~cat:"service" "diskq.depth" (float_of_int depth)
 
 let dq_push st q ~urgent job =
   (if urgent then Queue.add (now st, job) q.dq_urgent else Queue.add (now st, job) q.dq_normal);

@@ -13,27 +13,40 @@ let check_range t blk count =
       (Printf.sprintf "Blockstore: range [%d,%d) outside device of %d blocks" blk
          (blk + count) t.nblocks)
 
-let read t ~blk ~count =
+(* The into/from pair is the zero-copy discipline: callers hand a view
+   (buffer + offset) and blocks move once, between the store's granules
+   and that view. [read]/[write] are the allocating conveniences on
+   top. *)
+let read_into t ~blk ~count ~dst ~dst_off =
   check_range t blk count;
-  let out = Bytes.create (count * t.block_size) in
+  if dst_off < 0 || dst_off + (count * t.block_size) > Bytes.length dst then
+    invalid_arg "Blockstore.read_into: view outside buffer";
   for i = 0 to count - 1 do
     match Hashtbl.find_opt t.blocks (blk + i) with
-    | Some b -> Bytes.blit b 0 out (i * t.block_size) t.block_size
-    | None -> Bytes.fill out (i * t.block_size) t.block_size '\000'
-  done;
+    | Some b -> Bytes.blit b 0 dst (dst_off + (i * t.block_size)) t.block_size
+    | None -> Bytes.fill dst (dst_off + (i * t.block_size)) t.block_size '\000'
+  done
+
+let read t ~blk ~count =
+  let out = Bytes.create (count * t.block_size) in
+  read_into t ~blk ~count ~dst:out ~dst_off:0;
   out
+
+let write_from t ~blk ~src ~src_off ~count =
+  check_range t blk count;
+  if src_off < 0 || src_off + (count * t.block_size) > Bytes.length src then
+    invalid_arg "Blockstore.write_from: view outside buffer";
+  for i = 0 to count - 1 do
+    let b = Bytes.create t.block_size in
+    Bytes.blit src (src_off + (i * t.block_size)) b 0 t.block_size;
+    Hashtbl.replace t.blocks (blk + i) b
+  done
 
 let write t ~blk data =
   let len = Bytes.length data in
   if len = 0 || len mod t.block_size <> 0 then
     invalid_arg "Blockstore.write: length must be a positive multiple of block size";
-  let count = len / t.block_size in
-  check_range t blk count;
-  for i = 0 to count - 1 do
-    let b = Bytes.create t.block_size in
-    Bytes.blit data (i * t.block_size) b 0 t.block_size;
-    Hashtbl.replace t.blocks (blk + i) b
-  done
+  write_from t ~blk ~src:data ~src_off:0 ~count:(len / t.block_size)
 
 let copy t =
   let dup = Hashtbl.create (max 1024 (Hashtbl.length t.blocks)) in

@@ -14,8 +14,17 @@ val read : t -> blk:int -> count:int -> Bytes.t
 (** Returns [count * block_size] bytes. Out-of-range access raises
     [Invalid_argument]. *)
 
+val read_into : t -> blk:int -> count:int -> dst:Bytes.t -> dst_off:int -> unit
+(** Lands [count] blocks directly at [dst_off] in the caller's buffer —
+    the zero-copy primitive under {!read}. The view must lie inside
+    [dst]. *)
+
 val write : t -> blk:int -> Bytes.t -> unit
 (** The byte length must be a positive multiple of the block size. *)
+
+val write_from : t -> blk:int -> src:Bytes.t -> src_off:int -> count:int -> unit
+(** Writes [count] blocks from the view at [src_off] in [src] without an
+    intermediate slice allocation — the primitive under {!write}. *)
 
 val copy : t -> t
 (** Deep snapshot of the store's current contents — the raw platter

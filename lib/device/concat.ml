@@ -74,20 +74,30 @@ let rec extents t blk count acc =
     in
     extents t (blk + run) (count - run) ((d, phys, blk, run) :: acc)
 
+(* Each physically-contiguous run moves directly between the member
+   disk and the caller's view — no per-run slice buffers. *)
+let read_into t ~blk ~count ~dst ~dst_off =
+  if dst_off < 0 || dst_off + (count * t.bs) > Bytes.length dst then
+    invalid_arg "Concat.read_into: view outside buffer";
+  List.iter
+    (fun (d, phys, logical, run) ->
+      Disk.read_into d ~blk:phys ~count:run ~dst ~dst_off:(dst_off + ((logical - blk) * t.bs)))
+    (extents t blk count [])
+
 let read t ~blk ~count =
   let out = Bytes.create (count * t.bs) in
-  List.iter
-    (fun (d, phys, logical, run) ->
-      let data = Disk.read d ~blk:phys ~count:run in
-      Bytes.blit data 0 out ((logical - blk) * t.bs) (run * t.bs))
-    (extents t blk count []);
+  read_into t ~blk ~count ~dst:out ~dst_off:0;
   out
 
-let write t ~blk data =
-  let count = Bytes.length data / t.bs in
-  if Bytes.length data = 0 || Bytes.length data mod t.bs <> 0 then
-    invalid_arg "Concat.write: bad length";
+let write_from t ~blk ~src ~src_off ~count =
+  if src_off < 0 || src_off + (count * t.bs) > Bytes.length src then
+    invalid_arg "Concat.write_from: view outside buffer";
   List.iter
     (fun (d, phys, logical, run) ->
-      Disk.write d ~blk:phys (Bytes.sub data ((logical - blk) * t.bs) (run * t.bs)))
+      Disk.write_from d ~blk:phys ~src ~src_off:(src_off + ((logical - blk) * t.bs)) ~count:run)
     (extents t blk count [])
+
+let write t ~blk data =
+  if Bytes.length data = 0 || Bytes.length data mod t.bs <> 0 then
+    invalid_arg "Concat.write: bad length";
+  write_from t ~blk ~src:data ~src_off:0 ~count:(Bytes.length data / t.bs)

@@ -22,3 +22,10 @@ val locate : t -> int -> Disk.t * int
 
 val read : t -> blk:int -> count:int -> Bytes.t
 val write : t -> blk:int -> Bytes.t -> unit
+
+val read_into : t -> blk:int -> count:int -> dst:Bytes.t -> dst_off:int -> unit
+(** Zero-copy {!read}: each physically-contiguous run lands directly in
+    the caller's view, whichever member disks it spans. *)
+
+val write_from : t -> blk:int -> src:Bytes.t -> src_off:int -> count:int -> unit
+(** Zero-copy {!write} of a view — no per-run slice allocation. *)

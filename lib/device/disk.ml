@@ -58,6 +58,7 @@ let hp7958a =
 type t = {
   engine : Engine.t;
   label : string;
+  site : string; (* "disk:<label>", hoisted off the per-op path *)
   prof : profile;
   store : Blockstore.t;
   res : Resource.t;
@@ -82,6 +83,7 @@ let create engine ?bus ?nblocks prof ~name =
   {
     engine;
     label = name;
+    site = "disk:" ^ name;
     prof;
     store = Blockstore.create ~block_size:prof.block_size ~nblocks;
     res = Resource.create engine ~wait_category:Ledger.Queue_wait ("disk:" ^ name);
@@ -107,25 +109,35 @@ let seek_duration t dist =
     let frac = float_of_int dist /. float_of_int (nblocks t) in
     t.prof.seek_min +. ((t.prof.seek_max -. t.prof.seek_min) *. Float.pow frac seek_exponent)
 
+(* The [Trace.enabled] forks keep the disabled-tracing path free of the
+   argument lists and int-formatting the spans carry — this is the
+   hottest device loop in the tree. *)
 let chunk_io t ~blk ~count ~rate ~op =
   Resource.with_resource t.res (fun () ->
       let dist = abs (blk - t.arm) in
       let seek = seek_duration t dist in
       let rot = if dist = 0 then 0.0 else t.prof.rot_latency in
       t.seek_total <- t.seek_total +. seek;
-      let track = "disk:" ^ t.label in
-      Trace.span ~track ~cat:"disk" "position"
-        ~args:[ ("seek_blocks", string_of_int dist) ]
-        (fun () ->
-          Ledger.charged_active Ledger.Seek_rotate (fun () ->
-              Engine.delay (t.prof.op_overhead +. seek +. rot)));
+      let position () =
+        Ledger.charged_active Ledger.Seek_rotate (fun () ->
+            Engine.delay (t.prof.op_overhead +. seek +. rot))
+      in
+      if Trace.enabled () then
+        Trace.span ~track:t.site ~cat:"disk" "position"
+          ~args:[ ("seek_blocks", string_of_int dist) ]
+          position
+      else position ();
       let xfer = float_of_int (count * t.prof.block_size) /. rate in
-      Trace.span ~track ~cat:"disk" op
-        ~args:[ ("blk", string_of_int blk); ("blocks", string_of_int count) ]
-        (fun () ->
-          match t.bus with
-          | Some bus -> Scsi_bus.transfer bus xfer
-          | None -> Ledger.charged_active Ledger.Transfer (fun () -> Engine.delay xfer));
+      let transfer () =
+        match t.bus with
+        | Some bus -> Scsi_bus.transfer bus xfer
+        | None -> Ledger.charged_active Ledger.Transfer (fun () -> Engine.delay xfer)
+      in
+      if Trace.enabled () then
+        Trace.span ~track:t.site ~cat:"disk" op
+          ~args:[ ("blk", string_of_int blk); ("blocks", string_of_int count) ]
+          transfer
+      else transfer ();
       t.arm <- blk + count)
 
 let split_io t ~blk ~count ~rate ~op =
@@ -138,24 +150,29 @@ let split_io t ~blk ~count ~rate ~op =
   in
   go blk count
 
-let read t ~blk ~count =
-  Fault.check ~site:("disk:" ^ t.label) Fault.Read;
+let read_into t ~blk ~count ~dst ~dst_off =
+  Fault.check ~site:t.site Fault.Read;
   split_io t ~blk ~count ~rate:t.prof.read_rate ~op:"read";
   t.n_reads <- t.n_reads + 1;
   t.rbytes <- t.rbytes + (count * t.prof.block_size);
-  Blockstore.read t.store ~blk ~count
+  Blockstore.read_into t.store ~blk ~count ~dst ~dst_off
+
+let read t ~blk ~count =
+  let out = Bytes.create (count * t.prof.block_size) in
+  read_into t ~blk ~count ~dst:out ~dst_off:0;
+  out
 
 (* Streaming read: identical timing to [read] (which already splits at
    MAXPHYS), but each chunk is delivered as its transfer completes and
    the fault plan is consulted per chunk. *)
 let read_stream t ~blk ~count ?(chunk = max_transfer_blocks) f =
   if chunk <= 0 then invalid_arg "Disk.read_stream: bad chunk";
-  Fault.check ~site:("disk:" ^ t.label) Fault.Read;
+  Fault.check ~site:t.site Fault.Read;
   let rec go off remaining =
     if remaining > 0 then begin
       let n = min remaining chunk in
       chunk_io t ~blk:(blk + off) ~count:n ~rate:t.prof.read_rate ~op:"read";
-      Fault.check ~site:("disk:" ^ t.label) Fault.Read;
+      Fault.check ~site:t.site Fault.Read;
       t.rbytes <- t.rbytes + (n * t.prof.block_size);
       f ~off (Blockstore.read t.store ~blk:(blk + off) ~count:n);
       go (off + n) (remaining - n)
@@ -164,14 +181,19 @@ let read_stream t ~blk ~count ?(chunk = max_transfer_blocks) f =
   t.n_reads <- t.n_reads + 1;
   go 0 count
 
-let write t ~blk data =
-  let count = Bytes.length data / t.prof.block_size in
+let write_from t ~blk ~src ~src_off ~count =
   (* consulted before the store mutates: a faulted write leaves no data *)
-  Fault.check ~site:("disk:" ^ t.label) Fault.Write;
-  Blockstore.write t.store ~blk data;
+  Fault.check ~site:t.site Fault.Write;
+  Blockstore.write_from t.store ~blk ~src ~src_off ~count;
   split_io t ~blk ~count ~rate:t.prof.write_rate ~op:"write";
   t.n_writes <- t.n_writes + 1;
-  t.wbytes <- t.wbytes + Bytes.length data
+  t.wbytes <- t.wbytes + (count * t.prof.block_size)
+
+let write t ~blk data =
+  let len = Bytes.length data in
+  if len = 0 || len mod t.prof.block_size <> 0 then
+    invalid_arg "Disk.write: length must be a positive multiple of block size";
+  write_from t ~blk ~src:data ~src_off:0 ~count:(len / t.prof.block_size)
 
 let reads t = t.n_reads
 let writes t = t.n_writes

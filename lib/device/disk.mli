@@ -41,6 +41,10 @@ val block_size : t -> int
 val read : t -> blk:int -> count:int -> Bytes.t
 (** Blocking (simulated-time) read of [count] blocks. *)
 
+val read_into : t -> blk:int -> count:int -> dst:Bytes.t -> dst_off:int -> unit
+(** {!read} landing directly in the caller's buffer at [dst_off]: same
+    simulated timing, no intermediate allocation. *)
+
 val read_stream : t -> blk:int -> count:int -> ?chunk:int -> (off:int -> Bytes.t -> unit) -> unit
 (** Like {!read} (same simulated timing — [read] already splits at the
     64 KB MAXPHYS grain), but each [chunk]-block piece is delivered to
@@ -48,6 +52,10 @@ val read_stream : t -> blk:int -> count:int -> ?chunk:int -> (off:int -> Bytes.t
     within the request. The fault plan is consulted per chunk. *)
 
 val write : t -> blk:int -> Bytes.t -> unit
+
+val write_from : t -> blk:int -> src:Bytes.t -> src_off:int -> count:int -> unit
+(** {!write} of the [count]-block view at [src_off] in [src] — lets a
+    caller write one run of a larger image without slicing it out. *)
 
 val store : t -> Blockstore.t
 (** Direct access to the backing bytes, bypassing timing — used only by

@@ -269,19 +269,29 @@ let position_and_transfer ?(chunk = chunk_blocks) ?on_chunk t d ~blk ~count ~rat
       let n = min count chunk in
       if d.pos <> blk then begin
         let dist = abs (blk - d.pos) in
-        Trace.span ~track:d.track ~cat:"jukebox" "position"
-          ~args:[ ("seek_blocks", string_of_int dist) ]
-          (fun () ->
-            Ledger.charged_active Ledger.Seek_rotate (fun () ->
-                Engine.delay (t.prof.seek_const +. (t.prof.seek_per_block *. float_of_int dist))))
+        let position () =
+          Ledger.charged_active Ledger.Seek_rotate (fun () ->
+              Engine.delay (t.prof.seek_const +. (t.prof.seek_per_block *. float_of_int dist)))
+        in
+        (* guard keeps the disabled-tracing chunk loop free of span
+           argument formatting *)
+        if Trace.enabled () then
+          Trace.span ~track:d.track ~cat:"jukebox" "position"
+            ~args:[ ("seek_blocks", string_of_int dist) ]
+            position
+        else position ()
       end;
       let xfer = float_of_int (n * t.prof.block_size) /. rate in
-      Trace.span ~track:d.track ~cat:"jukebox" op
-        ~args:[ ("blk", string_of_int blk); ("blocks", string_of_int n) ]
-        (fun () ->
-          match t.bus with
-          | Some bus -> Scsi_bus.transfer bus xfer
-          | None -> Ledger.charged_active Ledger.Transfer (fun () -> Engine.delay xfer));
+      let transfer () =
+        match t.bus with
+        | Some bus -> Scsi_bus.transfer bus xfer
+        | None -> Ledger.charged_active Ledger.Transfer (fun () -> Engine.delay xfer)
+      in
+      (if Trace.enabled () then
+         Trace.span ~track:d.track ~cat:"jukebox" op
+           ~args:[ ("blk", string_of_int blk); ("blocks", string_of_int n) ]
+           transfer
+       else transfer ());
       d.pos <- blk + n;
       Option.iter (fun f -> f ~blk ~n) on_chunk;
       go (blk + n) (count - n)
@@ -289,13 +299,18 @@ let position_and_transfer ?(chunk = chunk_blocks) ?on_chunk t d ~blk ~count ~rat
   in
   go blk count
 
-let read t ~vol ~blk ~count =
-  if vol < 0 || vol >= nvolumes t then invalid_arg "Jukebox.read: bad volume";
+let read_into t ~vol ~blk ~count ~dst ~dst_off =
+  if vol < 0 || vol >= nvolumes t then invalid_arg "Jukebox.read_into: bad volume";
   with_drive t vol ~for_write:false (fun d ->
       Fault.check ~site:d.track Fault.Read;
       position_and_transfer t d ~blk ~count ~rate:t.prof.read_rate ~op:"read";
       t.rbytes <- t.rbytes + (count * t.prof.block_size);
-      Blockstore.read t.volumes.(vol) ~blk ~count)
+      Blockstore.read_into t.volumes.(vol) ~blk ~count ~dst ~dst_off)
+
+let read t ~vol ~blk ~count =
+  let out = Bytes.create (count * t.prof.block_size) in
+  read_into t ~vol ~blk ~count ~dst:out ~dst_off:0;
+  out
 
 (* Streaming read: the same drive/robot/bus model as [read], but each
    chunk is delivered to [f] the moment its bus transfer completes, and
@@ -312,6 +327,31 @@ let read_stream t ~vol ~blk ~count ?(chunk = chunk_blocks) f =
         Fault.check ~site:d.track Fault.Read;
         t.rbytes <- t.rbytes + (n * t.prof.block_size);
         f ~off:(cblk - blk) (Blockstore.read t.volumes.(vol) ~blk:cblk ~count:n)
+      in
+      Fault.check ~site:d.track Fault.Read;
+      position_and_transfer ~chunk ~on_chunk:deliver t d ~blk ~count
+        ~rate:t.prof.read_rate ~op:"read")
+
+(* Streaming read landing directly in [dst]: same model as
+   [read_stream], but each chunk's bytes are placed at their final
+   offset in the caller's buffer before the callback fires — the
+   callback only learns where ([off], in blocks) and how much
+   ([blocks]), so a demand fetch can stage a whole cache line with a
+   single store→image copy. *)
+let read_stream_into t ~vol ~blk ~count ?(chunk = chunk_blocks) ~dst ~dst_off f =
+  if vol < 0 || vol >= nvolumes t then invalid_arg "Jukebox.read_stream_into: bad volume";
+  if chunk <= 0 then invalid_arg "Jukebox.read_stream_into: bad chunk";
+  let bs = t.prof.block_size in
+  if dst_off < 0 || dst_off + (count * bs) > Bytes.length dst then
+    invalid_arg "Jukebox.read_stream_into: view outside buffer";
+  with_drive t vol ~for_write:false (fun d ->
+      let deliver ~blk:cblk ~n =
+        Fault.check ~site:d.track Fault.Read;
+        t.rbytes <- t.rbytes + (n * bs);
+        let off = cblk - blk in
+        Blockstore.read_into t.volumes.(vol) ~blk:cblk ~count:n ~dst
+          ~dst_off:(dst_off + (off * bs));
+        f ~off ~blocks:n
       in
       Fault.check ~site:d.track Fault.Read;
       position_and_transfer ~chunk ~on_chunk:deliver t d ~blk ~count

@@ -67,6 +67,10 @@ val ndrives : t -> int
 val read : t -> vol:int -> blk:int -> count:int -> Bytes.t
 val write : t -> vol:int -> blk:int -> Bytes.t -> unit
 
+val read_into : t -> vol:int -> blk:int -> count:int -> dst:Bytes.t -> dst_off:int -> unit
+(** {!read} landing directly in the caller's buffer at [dst_off]: same
+    drive/robot/bus timing, no intermediate allocation. *)
+
 val read_stream :
   t -> vol:int -> blk:int -> count:int -> ?chunk:int -> (off:int -> Bytes.t -> unit) -> unit
 (** Like {!read}, but delivers each [chunk]-block piece (default: the
@@ -76,6 +80,22 @@ val read_stream :
     fire mid-stream after a prefix has been delivered; the exception
     propagates and the already-delivered prefix stands. Same simulated
     timing as {!read}. *)
+
+val read_stream_into :
+  t ->
+  vol:int ->
+  blk:int ->
+  count:int ->
+  ?chunk:int ->
+  dst:Bytes.t ->
+  dst_off:int ->
+  (off:int -> blocks:int -> unit) ->
+  unit
+(** {!read_stream} with the data landing directly in [dst]: each chunk
+    is written at its final position ([dst_off + off * block_size])
+    before the callback fires, so staging a segment image costs a
+    single store→buffer copy instead of chunk-buffer + blit. The
+    callback receives only the chunk's block offset and length. *)
 
 val reserve_write_drive : t -> bool -> unit
 (** When enabled, drive 0 is used only for volumes being written

@@ -88,6 +88,24 @@ let read_blocks t ~vol ~seg ~off ~count =
 
 let read_seg t ~vol ~seg = read_blocks t ~vol ~seg ~off:0 ~count:t.seg_blocks
 
+let read_seg_into t ~vol ~seg ~dst ~dst_off =
+  let jb, v = locate t vol in
+  if seg < 0 || seg >= real_segs t jb then invalid_arg "Footprint.read_seg_into: bad segment";
+  timed t (fun () ->
+      Jukebox.read_into jb ~vol:v ~blk:(seg * t.seg_blocks) ~count:t.seg_blocks ~dst ~dst_off;
+      t.rbytes <- t.rbytes + (t.seg_blocks * t.block_size))
+
+let read_seg_stream_into t ~vol ~seg ?chunk ~dst ~dst_off f =
+  let jb, v = locate t vol in
+  if seg < 0 || seg >= real_segs t jb then
+    invalid_arg "Footprint.read_seg_stream_into: bad segment";
+  timed t (fun () ->
+      Jukebox.read_stream_into jb ~vol:v ~blk:(seg * t.seg_blocks) ~count:t.seg_blocks ?chunk
+        ~dst ~dst_off
+        (fun ~off ~blocks ->
+          t.rbytes <- t.rbytes + (blocks * t.block_size);
+          f ~off ~blocks))
+
 let read_seg_stream t ~vol ~seg ?chunk f =
   let jb, v = locate t vol in
   if seg < 0 || seg >= real_segs t jb then invalid_arg "Footprint.read_seg_stream: bad segment";

@@ -42,6 +42,23 @@ val volume_loaded : t -> int -> bool
 val read_seg : t -> vol:int -> seg:int -> Bytes.t
 (** Fetches a whole segment image ([seg_blocks] blocks). *)
 
+val read_seg_into : t -> vol:int -> seg:int -> dst:Bytes.t -> dst_off:int -> unit
+(** {!read_seg} landing directly in the caller's buffer — the image
+    moves store→[dst] in one copy with no intermediate allocation. *)
+
+val read_seg_stream_into :
+  t ->
+  vol:int ->
+  seg:int ->
+  ?chunk:int ->
+  dst:Bytes.t ->
+  dst_off:int ->
+  (off:int -> blocks:int -> unit) ->
+  unit
+(** {!read_seg_stream} landing directly in [dst]: each chunk is placed
+    at its final offset before the callback fires, which receives only
+    the chunk's position and length in blocks. *)
+
 val read_seg_stream :
   t -> vol:int -> seg:int -> ?chunk:int -> (off:int -> Bytes.t -> unit) -> unit
 (** Like {!read_seg}, but delivers the segment in [chunk]-block pieces

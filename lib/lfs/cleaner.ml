@@ -20,7 +20,7 @@ let select_victims fs ~policy ~limit =
         -.((1.0 -. u) *. age /. (1.0 +. u))
   in
   !candidates
-  |> List.sort (fun a b -> compare (score a) (score b))
+  |> List.sort (fun a b -> Float.compare (score a) (score b))
   |> List.filteri (fun i _ -> i < limit)
   |> List.map fst
 

@@ -9,6 +9,12 @@ type t = {
   block_size : int;
   read : blk:int -> count:int -> Bytes.t;
   write : blk:int -> data:Bytes.t -> unit;
+  read_into : blk:int -> count:int -> dst:Bytes.t -> dst_off:int -> unit;
+      (** [read] landing directly in a caller buffer — the zero-copy
+          path segment staging uses. *)
+  write_from : blk:int -> src:Bytes.t -> src_off:int -> count:int -> unit;
+      (** [write] of a [count]-block view at byte offset [src_off] in
+          [src], with no slice allocation. *)
 }
 
 val of_disk : Device.Disk.t -> t

@@ -480,7 +480,7 @@ let flush t =
        roll-forward uses to replay deletions) and point the inode map at
        the live ones. *)
     let dirty_inums =
-      List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) t.dirty_inodes [])
+      List.sort Int.compare (Hashtbl.fold (fun k () acc -> k :: acc) t.dirty_inodes [])
     in
     let live = List.map (fun inum -> (get_inode t inum, true)) dirty_inums in
     let dead =

@@ -125,7 +125,7 @@ let dirty_blocks t ~block_size =
   let epb = entries_per_block ~block_size in
   let blocks = Hashtbl.create 8 in
   Hashtbl.iter (fun inum () -> Hashtbl.replace blocks (inum / epb) ()) t.dirty;
-  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) blocks [])
+  List.sort Int.compare (Hashtbl.fold (fun k () acc -> k :: acc) blocks [])
 
 let mark_all_dirty t =
   for inum = 0 to Array.length t.entries - 1 do

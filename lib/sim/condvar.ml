@@ -9,8 +9,12 @@ let wait ?charge t =
 let signal t = match Queue.take_opt t.queue with None -> () | Some wake -> wake ()
 
 let broadcast t =
-  let pending = Queue.copy t.queue in
-  Queue.clear t.queue;
-  Queue.iter (fun wake -> wake ()) pending
+  (* the overwhelmingly common case on streaming watermark bumps is an
+     empty wait queue — skip the copy *)
+  if not (Queue.is_empty t.queue) then begin
+    let pending = Queue.copy t.queue in
+    Queue.clear t.queue;
+    Queue.iter (fun wake -> wake ()) pending
+  end
 
 let waiters t = Queue.length t.queue

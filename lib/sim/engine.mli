@@ -13,10 +13,32 @@
 
 type t
 
-val create : unit -> t
+val create : ?capacity:int -> unit -> t
+(** [capacity] pre-sizes the event queue (see {!Eventq.create}) for
+    runs known to keep thousands of processes in flight. *)
 
 val now : t -> float
 (** Current virtual time in seconds. *)
+
+val schedule : t -> after:float -> (unit -> unit) -> unit
+(** [schedule t ~after f] runs [f] on the scheduler [after] virtual
+    seconds from now (clamped at 0). Unlike {!spawn}, [f] is a plain
+    callback, not a coroutine: it must not perform {!delay} or
+    {!suspend}. This is the cheap primitive for one-shot timers and
+    self-rescheduling ticks — no fiber, no handler, one heap event. *)
+
+type timer
+(** A reusable one-shot timer: its event slot is allocated once and
+    re-pushed on every {!arm}, so a recurring tick allocates nothing
+    per firing (unlike {!schedule}, which builds a fresh slot). *)
+
+val timer : t -> (unit -> unit) -> timer
+(** The callback runs on the scheduler like {!schedule}'s and must not
+    perform {!delay}/{!suspend}. It may re-{!arm} its own timer. *)
+
+val arm : t -> timer -> after:float -> unit
+(** Queues the timer to fire [after] virtual seconds from now (clamped
+    at 0). Arming an already-armed timer queues a second firing. *)
 
 val spawn : t -> ?name:string -> (unit -> unit) -> unit
 (** Registers a process to start at the current virtual time. May be
@@ -27,6 +49,11 @@ val spawn : t -> ?name:string -> (unit -> unit) -> unit
 val current_process : t -> string option
 (** Name of the process currently executing on the virtual CPU, or
     [None] between events / outside [run]. *)
+
+val current_name : t -> string
+(** Allocation-free variant of {!current_process} for hot
+    instrumentation: the running process's name, or ["main"] between
+    events / outside [run]. *)
 
 val delay : float -> unit
 (** Blocks the calling process for the given virtual duration. Must be
@@ -60,3 +87,7 @@ val blocked_processes : t -> int
 val blocked_process_names : t -> string list
 (** Names of the processes counted by {!blocked_processes}, sorted —
     the first question to ask of a deadlocked run. *)
+
+val events_retired : t -> int
+(** Total events executed by [run]/[run_until] since [create] — the
+    denominator for events/sec and words/event measurements. *)

@@ -67,7 +67,7 @@ let injected p = p.n_injected
 
 let injected_by_site p =
   Hashtbl.fold (fun site n acc -> (site, n) :: acc) p.fires []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 (* ---------- ambient state ---------- *)
 
@@ -82,7 +82,8 @@ let clear () =
   ambient := None;
   ambient_metrics := None
 
-let active () = !ambient <> None
+(* match, not polymorphic (<>): checked on every modelled device op *)
+let active () = match !ambient with None -> false | Some _ -> true
 let set_metrics m = if active () then ambient_metrics := Some m
 
 (* ---------- names ---------- *)

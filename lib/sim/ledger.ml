@@ -96,8 +96,13 @@ let install ?metrics engine =
       }
 
 let uninstall () = installed := None
-let enabled () = !installed <> None
-let proc r = Option.value (Engine.current_process r.engine) ~default:"main"
+
+(* match, not polymorphic (<>): this guard must stay branch-cheap *)
+let enabled () = match !installed with None -> false | Some _ -> true
+
+(* [Engine.current_name] hands back an already-live string — the
+   option-returning [current_process] would box one per charge. *)
+let proc r = Engine.current_name r.engine
 
 let open_request ~kind =
   match !installed with
@@ -223,22 +228,24 @@ let with_active ?redirect l f =
             restore ();
             raise e)
 
-let active () =
-  match !installed with None -> None | Some r -> Hashtbl.find_opt r.active (proc r)
-
+(* The device layers call these on every simulated I/O; [Hashtbl.find]
+   + [Not_found] keeps the common miss path from boxing an option. *)
 let charge_active cat dt =
-  match active () with
+  match !installed with
   | None -> ()
-  | Some (l, redirect) -> charge l (Option.value redirect ~default:cat) dt
+  | Some r -> (
+      match Hashtbl.find r.active (proc r) with
+      | l, redirect -> charge l (match redirect with Some c -> c | None -> cat) dt
+      | exception Not_found -> ())
 
 let charged_active cat f =
   match !installed with
   | None -> f ()
   | Some r -> (
-      match Hashtbl.find_opt r.active (proc r) with
-      | None -> f ()
-      | Some (l, redirect) -> (
-          let cat = Option.value redirect ~default:cat in
+      match Hashtbl.find r.active (proc r) with
+      | exception Not_found -> f ()
+      | l, redirect -> (
+          let cat = match redirect with Some c -> c | None -> cat in
           let t0 = Engine.now r.engine in
           match f () with
           | v ->
@@ -272,7 +279,7 @@ let summary () =
   | None -> []
   | Some r ->
       Hashtbl.fold (fun kind a acc -> (kind, a) :: acc) r.aggs []
-      |> List.sort compare
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
       |> List.map (fun (kind, a) ->
              let by_category =
                List.filter_map
@@ -289,7 +296,7 @@ let summary () =
                        })
                  categories
                (* blame-ranked: the critical-path ordering *)
-               |> List.sort (fun x y -> compare y.total_s x.total_s)
+               |> List.sort (fun x y -> Float.compare y.total_s x.total_s)
              in
              {
                cls = kind;

@@ -134,7 +134,7 @@ let find_histogram t name = Hashtbl.find_opt t.histograms name
 
 let iter_sorted tbl f =
   Hashtbl.fold (fun name v acc -> (name, v) :: acc) tbl []
-  |> List.sort compare
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   |> List.iter (fun (name, v) -> f name v)
 
 let iter_histograms t f = iter_sorted t.histograms f
@@ -144,7 +144,8 @@ let iter_gauges t f = iter_sorted t.gauges f
 (* ---------- JSON export ---------- *)
 
 let sorted_bindings tbl =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let to_json t =
   let b = Buffer.create 4096 in

@@ -144,7 +144,7 @@ let to_json t =
                   ", \"%s\": { \"count\": %d, \"mean\": %.6g, \"p50\": %.6g, \"p95\": %.6g, \
                    \"p99\": %.6g }"
                   name n mean p50 p95 p99))
-        (List.sort compare s.values);
+        (List.sort (fun (a, _) (b, _) -> String.compare a b) s.values);
       Buffer.add_string b " }")
     (samples t);
   Buffer.add_string b "\n  ]\n}\n";

@@ -19,6 +19,8 @@ type t = {
   clock : unit -> float;
   proc : unit -> string;
   limit : int;
+  sample : int; (* record 1 in [sample] spans/instants *)
+  mutable tick : int;
   mutable events : event list; (* newest first *)
   mutable n : int;
   mutable dropped : int;
@@ -32,13 +34,15 @@ type t = {
    tracing is off. *)
 let installed : t option ref = ref None
 
-let start ?(limit = 2_000_000) engine =
+let start ?(limit = 2_000_000) ?(sample = 1) engine =
+  if sample < 1 then invalid_arg "Trace.start: sample must be >= 1";
   let tr =
     {
       clock = (fun () -> Engine.now engine);
-      proc =
-        (fun () -> Option.value (Engine.current_process engine) ~default:"main");
+      proc = (fun () -> Engine.current_name engine);
       limit;
+      sample;
+      tick = 0;
       events = [];
       n = 0;
       dropped = 0;
@@ -51,7 +55,10 @@ let start ?(limit = 2_000_000) engine =
 
 let stop () = installed := None
 let current () = !installed
-let enabled () = !installed <> None
+(* NOT [!installed <> None]: polymorphic (<>) is a C call, and this
+   guard sits on device hot paths precisely to make disabled tracing
+   free. *)
+let enabled () = match !installed with None -> false | Some _ -> true
 let event_count t = t.n
 let dropped t = t.dropped
 
@@ -64,33 +71,54 @@ let add tr ev =
 
 let resolve_track tr = function Some track -> track | None -> tr.proc ()
 
+(* 1-in-N sampling for the high-volume event kinds (spans, instants,
+   counters). Async lifecycles are never sampled: dropping a begin
+   orphans its end, and they are orders of magnitude rarer. *)
+let sampled tr =
+  tr.sample = 1
+  ||
+  let k = tr.tick + 1 in
+  if k >= tr.sample then begin
+    tr.tick <- 0;
+    true
+  end
+  else begin
+    tr.tick <- k;
+    false
+  end
+
 let instant ?track ?(cat = "") ?(args = []) name =
   match !installed with
   | None -> ()
   | Some tr ->
-      add tr { ts = tr.clock (); track = resolve_track tr track; name; cat; ph = Instant; args }
+      if sampled tr then
+        add tr { ts = tr.clock (); track = resolve_track tr track; name; cat; ph = Instant; args }
 
 let counter ~track ?(cat = "") name value =
   match !installed with
   | None -> ()
-  | Some tr -> add tr { ts = tr.clock (); track; name; cat; ph = Counter value; args = [] }
+  | Some tr ->
+      if sampled tr then add tr { ts = tr.clock (); track; name; cat; ph = Counter value; args = [] }
 
 let span ?track ?(cat = "") ?(args = []) name f =
   match !installed with
   | None -> f ()
   | Some tr ->
-      let track = resolve_track tr track in
-      let t0 = tr.clock () in
-      let finish () =
-        add tr { ts = t0; track; name; cat; ph = Complete (tr.clock () -. t0); args }
-      in
-      (match f () with
-      | v ->
-          finish ();
-          v
-      | exception e ->
-          finish ();
-          raise e)
+      if not (sampled tr) then f ()
+      else begin
+        let track = resolve_track tr track in
+        let t0 = tr.clock () in
+        let finish () =
+          add tr { ts = t0; track; name; cat; ph = Complete (tr.clock () -. t0); args }
+        in
+        match f () with
+        | v ->
+            finish ();
+            v
+        | exception e ->
+            finish ();
+            raise e
+      end
 
 let async_begin ?track ?(cat = "request") ?(args = []) name =
   match !installed with
@@ -159,7 +187,7 @@ let add_args b args =
 let usecs ts = ts *. 1e6
 
 let export t =
-  let events = List.stable_sort (fun a b -> compare a.ts b.ts) (List.rev t.events) in
+  let events = List.stable_sort (fun a b -> Float.compare a.ts b.ts) (List.rev t.events) in
   (* tracks become Chrome "threads" of one process, named via metadata
      events, tids assigned in order of first appearance *)
   let tids = Hashtbl.create 16 in

@@ -16,11 +16,14 @@
 
 type t
 
-val start : ?limit:int -> Engine.t -> t
+val start : ?limit:int -> ?sample:int -> Engine.t -> t
 (** Creates a tracer clocked by [engine]'s virtual time and installs it
     as the ambient tracer. [limit] (default 2M) bounds the number of
     buffered events; beyond it events are counted in {!dropped} rather
-    than stored. *)
+    than stored. [sample] (default 1 = record everything) keeps 1 in
+    [sample] of the high-volume event kinds — spans, instants,
+    counters — for long runs where full tracing is too heavy; async
+    lifecycles are always recorded so no end is orphaned. *)
 
 val stop : unit -> unit
 (** Uninstalls the ambient tracer (the buffer survives for {!export}). *)

@@ -1,14 +1,20 @@
-type 'a t = { mutable data : 'a array; mutable size : int; cmp : 'a -> 'a -> int }
+(* Slots are ['a option] so a popped element's cell can be reset to
+   [None]: with a bare ['a array] the freed tail slots kept their last
+   occupant reachable — a space leak when elements own big payloads
+   (the segment-cache LRU holds cache-line records). *)
+type 'a t = { mutable data : 'a option array; mutable size : int; cmp : 'a -> 'a -> int }
 
-let create ~cmp = { data = [||]; size = 0; cmp }
+let create ?(capacity = 0) ~cmp () = { data = Array.make (max capacity 0) None; size = 0; cmp }
 let length t = t.size
 let is_empty t = t.size = 0
 
-let grow t x =
+let get t i = match Array.unsafe_get t.data i with Some x -> x | None -> assert false
+
+let grow t =
   let cap = Array.length t.data in
   if t.size >= cap then begin
     let ncap = max 16 (2 * cap) in
-    let ndata = Array.make ncap x in
+    let ndata = Array.make ncap None in
     Array.blit t.data 0 ndata 0 t.size;
     t.data <- ndata
   end
@@ -16,7 +22,7 @@ let grow t x =
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if t.cmp t.data.(i) t.data.(parent) < 0 then begin
+    if t.cmp (get t i) (get t parent) < 0 then begin
       let tmp = t.data.(i) in
       t.data.(i) <- t.data.(parent);
       t.data.(parent) <- tmp;
@@ -27,8 +33,8 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.size && t.cmp t.data.(l) t.data.(!smallest) < 0 then smallest := l;
-  if r < t.size && t.cmp t.data.(r) t.data.(!smallest) < 0 then smallest := r;
+  if l < t.size && t.cmp (get t l) (get t !smallest) < 0 then smallest := l;
+  if r < t.size && t.cmp (get t r) (get t !smallest) < 0 then smallest := r;
   if !smallest <> i then begin
     let tmp = t.data.(i) in
     t.data.(i) <- t.data.(!smallest);
@@ -37,8 +43,8 @@ let rec sift_down t i =
   end
 
 let push t x =
-  grow t x;
-  t.data.(t.size) <- x;
+  grow t;
+  t.data.(t.size) <- Some x;
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
@@ -47,12 +53,19 @@ let pop t =
   else begin
     let top = t.data.(0) in
     t.size <- t.size - 1;
+    (* move the last element to the root and *clear its old slot* so
+       nothing beyond [size] stays reachable *)
     if t.size > 0 then begin
       t.data.(0) <- t.data.(t.size);
+      t.data.(t.size) <- None;
       sift_down t 0
-    end;
-    Some top
+    end
+    else t.data.(0) <- None;
+    top
   end
 
-let peek t = if t.size = 0 then None else Some t.data.(0)
-let clear t = t.size <- 0
+let peek t = if t.size = 0 then None else t.data.(0)
+
+let clear t =
+  Array.fill t.data 0 (Array.length t.data) None;
+  t.size <- 0

@@ -1,9 +1,15 @@
-(** Binary min-heap with a user-supplied ordering; the simulator's event
-    queue and the cleaner's segment ranking both sit on this. *)
+(** Binary min-heap with a user-supplied ordering. Popped elements are
+    cleared from the backing array, so the heap never keeps dead
+    entries reachable — callers can park long-lived records (e.g. the
+    segment-cache LRU) here without leaking them. The simulator's own
+    event queue uses the specialized {!Sim.Eventq} instead. *)
 
 type 'a t
 
-val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ?capacity ~cmp] makes an empty heap; [capacity] pre-sizes
+    the backing array so a known working-set heap never re-grows
+    (default 0: grow on first push). *)
+val create : ?capacity:int -> cmp:('a -> 'a -> int) -> unit -> 'a t
 val length : 'a t -> int
 val is_empty : 'a t -> bool
 val push : 'a t -> 'a -> unit

@@ -10,12 +10,19 @@
    SOAK_snapshots.csv — the view that shows a slow leak or a queue
    ratchet which the end-of-run totals would average away.
 
-     dune exec soak/soak.exe *)
+     dune exec soak/soak.exe [seed] [--gc-stats] *)
 
 open Lfs
 open Workload
 
 let () =
+  let argv = Array.to_list Sys.argv in
+  let gc_stats = List.mem "--gc-stats" argv in
+  let seed =
+    match List.filter_map int_of_string_opt (List.tl argv) with s :: _ -> s | [] -> 7
+  in
+  let g0 = Gc.quick_stat () in
+  let cpu0 = Sys.time () in
   let engine = Sim.Engine.create () in
   let result = ref None in
   let sampler = ref None in
@@ -34,9 +41,6 @@ let () =
       let fs = Highlight.Hl.fs hl in
       let st = Highlight.Hl.state hl in
       ignore (Dir.mkdir fs "/archive");
-      let seed =
-        if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 7
-      in
       Printf.printf "soak: trace seed %d\n%!" seed;
       let events =
         Trace.generate ~seed
@@ -99,4 +103,22 @@ let () =
       Printf.printf "snapshots: %d samples (every %.0fs) -> SOAK_snapshots.csv\n"
         (Sim.Snapshot.length s) (Sim.Snapshot.period s)
   | None -> ());
+  if gc_stats then begin
+    let cpu = Sys.time () -. cpu0 in
+    let g1 = Gc.quick_stat () in
+    let events = Sim.Engine.events_retired engine in
+    let minor = g1.Gc.minor_words -. g0.Gc.minor_words in
+    Printf.printf "gc-stats: %d events in %.3fs cpu (%.0f events/sec; %.1f sim-s per cpu-s)\n"
+      events cpu
+      (if cpu > 0.0 then float_of_int events /. cpu else 0.0)
+      (if cpu > 0.0 then Sim.Engine.now engine /. cpu else 0.0);
+    Printf.printf
+      "gc-stats: minor words %.3e (%.1f/event)   major words %.3e   collections %d minor / %d \
+       major\n"
+      minor
+      (if events > 0 then minor /. float_of_int events else 0.0)
+      (g1.Gc.major_words -. g0.Gc.major_words)
+      (g1.Gc.minor_collections - g0.Gc.minor_collections)
+      (g1.Gc.major_collections - g0.Gc.major_collections)
+  end;
   match !result with Some () -> print_endline "clean run" | None -> (print_endline "did not finish"; exit 3)

@@ -314,6 +314,60 @@ let test_stripe_io_roundtrip () =
       Concat.write s ~blk:2 data;
       check Alcotest.bytes "striped roundtrip" data (Concat.read s ~blk:2 ~count:12))
 
+(* --- zero-copy views: the *_into / *_from paths must be
+   byte-identical to the allocating ones, land exactly inside the
+   caller's view, and leave the guard bytes around it untouched --- *)
+
+let test_concat_view_identity () =
+  in_sim (fun e ->
+      let d0 = Disk.create e ~nblocks:100 Disk.rz57 ~name:"d0" in
+      let d1 = Disk.create e ~nblocks:50 Disk.rz57 ~name:"d1" in
+      let c = Concat.concat [ d0; d1 ] in
+      let bs = 4096 in
+      let count = 6 in
+      let data = Bytes.init (count * bs) (fun i -> Char.chr ((i * 11) land 0xff)) in
+      (* blk 96..101 spans the d0/d1 boundary at 100 *)
+      let src = Bytes.make ((count + 4) * bs) '\xaa' in
+      Bytes.blit data 0 src (2 * bs) (count * bs);
+      Concat.write_from c ~blk:96 ~src ~src_off:(2 * bs) ~count;
+      check Alcotest.bytes "plain read sees view write" data (Concat.read c ~blk:96 ~count);
+      let dst = Bytes.make ((count + 3) * bs) '\x55' in
+      Concat.read_into c ~blk:96 ~count ~dst ~dst_off:bs;
+      check Alcotest.bytes "read_into view identical" data (Bytes.sub dst bs (count * bs));
+      check Alcotest.char "guard before view intact" '\x55' (Bytes.get dst (bs - 1));
+      check Alcotest.char "guard after view intact" '\x55' (Bytes.get dst ((count + 1) * bs)))
+
+let test_jukebox_read_into_identity () =
+  in_sim (fun e ->
+      let jb = mk_jb e in
+      let bs = 4096 in
+      let count = 8 in
+      let data = Bytes.init (count * bs) (fun i -> Char.chr ((i * 7) land 0xff)) in
+      Jukebox.write jb ~vol:1 ~blk:40 data;
+      let dst = Bytes.make ((count + 2) * bs) '\x33' in
+      Jukebox.read_into jb ~vol:1 ~blk:40 ~count ~dst ~dst_off:bs;
+      check Alcotest.bytes "read_into identical to read" (Jukebox.read jb ~vol:1 ~blk:40 ~count)
+        (Bytes.sub dst bs (count * bs));
+      check Alcotest.char "guard intact" '\x33' (Bytes.get dst 0))
+
+let test_jukebox_stream_into_identity () =
+  in_sim (fun e ->
+      let jb = mk_jb e in
+      let bs = 4096 in
+      let count = 40 in
+      let data = Bytes.init (count * bs) (fun i -> Char.chr ((i * 5 + 1) land 0xff)) in
+      Jukebox.write jb ~vol:0 ~blk:8 data;
+      let dst = Bytes.make ((count + 2) * bs) '\x00' in
+      let covered = ref 0 in
+      let monotone = ref true in
+      Jukebox.read_stream_into jb ~vol:0 ~blk:8 ~count ~chunk:16 ~dst ~dst_off:bs
+        (fun ~off ~blocks ->
+          if off <> !covered then monotone := false;
+          covered := !covered + blocks);
+      check Alcotest.bool "chunks delivered in order" true !monotone;
+      check Alcotest.int "chunks cover request" count !covered;
+      check Alcotest.bytes "streamed bytes identical" data (Bytes.sub dst bs (count * bs)))
+
 let prop_concat_roundtrip =
   QCheck.Test.make ~name:"concat preserves data at any offset" ~count:60
     QCheck.(pair (int_range 0 140) (int_range 1 8))
@@ -410,6 +464,9 @@ let suite =
         Alcotest.test_case "write drive reservation" `Quick test_jukebox_write_drive_reservation;
         Alcotest.test_case "WORM enforcement" `Quick test_worm_enforcement;
         Alcotest.test_case "tape seek proportional" `Quick test_tape_seek_proportional;
+        Alcotest.test_case "read_into view identity" `Quick test_jukebox_read_into_identity;
+        Alcotest.test_case "read_stream_into view identity" `Quick
+          test_jukebox_stream_into_identity;
       ] );
     ( "device.concat",
       [
@@ -417,6 +474,7 @@ let suite =
         Alcotest.test_case "boundary io" `Quick test_concat_boundary_io;
         Alcotest.test_case "stripe mapping" `Quick test_stripe_mapping;
         Alcotest.test_case "stripe roundtrip" `Quick test_stripe_io_roundtrip;
+        Alcotest.test_case "zero-copy view identity" `Quick test_concat_view_identity;
       ] );
     ("device.properties", List.map QCheck_alcotest.to_alcotest props);
   ]

@@ -275,7 +275,86 @@ let prop_resource_mutual_exclusion =
       Engine.run e;
       !ok)
 
-let props = [ prop_delays_accumulate; prop_resource_mutual_exclusion ]
+(* --- Eventq: the engine's monomorphic 4-ary heap --- *)
+
+let noop_slot pid = { Eventq.act = Eventq.Noop; pid; name = "" }
+
+let prop_eventq_pop_sorted =
+  QCheck.Test.make ~name:"eventq pops in nondecreasing time order" ~count:200
+    QCheck.(small_list (float_bound_inclusive 100.0))
+    (fun ts ->
+      let q = Eventq.create () in
+      List.iteri (fun i t -> Eventq.push q ~time:t (noop_slot i)) ts;
+      let rec drain prev =
+        if Eventq.is_empty q then true
+        else begin
+          let tm = Eventq.min_time q in
+          ignore (Eventq.pop q);
+          tm >= prev && drain tm
+        end
+      in
+      drain neg_infinity)
+
+let prop_eventq_fifo_ties =
+  QCheck.Test.make ~name:"eventq breaks equal-time ties FIFO" ~count:200
+    QCheck.(small_list (int_bound 3))
+    (fun buckets ->
+      (* many pushes land on the same few timestamps; within each
+         timestamp the pids (= push order) must come out ascending *)
+      let q = Eventq.create () in
+      List.iteri (fun i b -> Eventq.push q ~time:(float_of_int b) (noop_slot i)) buckets;
+      let last_pid = Hashtbl.create 4 in
+      let rec drain ok =
+        if Eventq.is_empty q then ok
+        else begin
+          let tm = Eventq.min_time q in
+          let s = Eventq.pop q in
+          let fifo =
+            match Hashtbl.find_opt last_pid tm with
+            | Some p -> s.Eventq.pid > p
+            | None -> true
+          in
+          Hashtbl.replace last_pid tm s.Eventq.pid;
+          drain (ok && fifo)
+        end
+      in
+      drain true)
+
+let prop_run_until_boundary =
+  QCheck.Test.make ~name:"run_until executes exactly the events at or before the limit"
+    ~count:100
+    QCheck.(
+      pair (float_bound_inclusive 20.0) (list_of_size Gen.(1 -- 20) (float_bound_inclusive 3.0)))
+    (fun (limit, ds) ->
+      let e = Engine.create () in
+      let hits = ref 0 in
+      Engine.spawn e (fun () ->
+          List.iter
+            (fun d ->
+              Engine.delay d;
+              incr hits)
+            ds);
+      Engine.run_until e limit;
+      (* the engine accumulates the same floats in the same order, so
+         this prefix count is exact, not within-epsilon *)
+      let rec expected acc n = function
+        | [] -> n
+        | d :: rest ->
+            let acc = acc +. d in
+            if acc <= limit then expected acc (n + 1) rest else n
+      in
+      let at_limit = !hits = expected 0.0 0 ds && Engine.now e = limit in
+      Engine.run e;
+      at_limit && !hits = List.length ds)
+
+let props =
+  [
+    prop_delays_accumulate;
+    prop_resource_mutual_exclusion;
+    prop_eventq_pop_sorted;
+    prop_eventq_fifo_ties;
+    prop_run_until_boundary;
+  ]
 
 let suite =
   [

@@ -137,18 +137,39 @@ let test_lru_remove_clear () =
 (* --- Heap --- *)
 
 let test_heap_sorts () =
-  let h = Heap.create ~cmp:compare in
+  let h = Heap.create ~cmp:compare () in
   List.iter (Heap.push h) [ 5; 1; 4; 1; 3; 9; 2 ];
   let rec drain acc = match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc) in
   check Alcotest.(list int) "sorted" [ 1; 1; 2; 3; 4; 5; 9 ] (drain [])
 
 let test_heap_peek () =
-  let h = Heap.create ~cmp:compare in
+  let h = Heap.create ~cmp:compare () in
   check Alcotest.(option int) "empty" None (Heap.peek h);
   Heap.push h 3;
   Heap.push h 1;
   check Alcotest.(option int) "peek" (Some 1) (Heap.peek h);
   check Alcotest.int "len" 2 (Heap.length h)
+
+(* Popped cells must drop their element reference: push a payload
+   tracked through a weak pointer from a no-inline helper (so no stack
+   root survives), pop it, and a full major must reclaim it. *)
+let[@inline never] push_tracked h =
+  let payload = Bytes.make 64 'x' in
+  let w = Weak.create 1 in
+  Weak.set w 0 (Some payload);
+  Heap.push h (1, payload);
+  w
+
+let test_heap_pop_releases () =
+  let h = Heap.create ~cmp:(fun (a, _) (b, _) -> Int.compare a b) () in
+  Heap.push h (2, Bytes.make 64 'y');
+  let w = push_tracked h in
+  (match Heap.pop h with
+  | Some (k, _) -> check Alcotest.int "min popped" 1 k
+  | None -> Alcotest.fail "heap empty");
+  Gc.full_major ();
+  check Alcotest.bool "popped payload reclaimed" true (Weak.get w 0 = None);
+  check Alcotest.int "survivor stays" 1 (Heap.length h)
 
 (* --- Rng --- *)
 
@@ -214,7 +235,7 @@ let prop_heap_pop_sorted =
   QCheck.Test.make ~name:"heap pops in nondecreasing order" ~count:200
     QCheck.(list int)
     (fun xs ->
-      let h = Heap.create ~cmp:compare in
+      let h = Heap.create ~cmp:compare () in
       List.iter (Heap.push h) xs;
       let rec drain prev =
         match Heap.pop h with
@@ -265,6 +286,7 @@ let suite =
       [
         Alcotest.test_case "sorts" `Quick test_heap_sorts;
         Alcotest.test_case "peek/length" `Quick test_heap_peek;
+        Alcotest.test_case "pop releases element" `Quick test_heap_pop_releases;
       ] );
     ( "util.rng",
       [
