@@ -32,12 +32,16 @@ let mid_world ?(seg_blocks = 256) ?(cache_policy = Highlight.Seg_cache.Lru) engi
 
 (* ---------- policy ablation ---------- *)
 
+(* One pairing of STP exponents x cache-eviction policy, with the
+   decision observatory watching: closes the loop on how many demotions
+   the workload immediately regretted (mistake rate) and how many
+   evicted lines it re-fetched (eviction regret). *)
 let run_policy_trace ~stp ~cache_policy =
   let engine = Sim.Engine.create () in
   Config.in_sim engine (fun () ->
-      (* a small disk (24 MB of log) under an archive that outgrows it,
+      (* a small disk (32 MB of log) under an archive that outgrows it,
          so the watermarks actually drive migration *)
-      let prm = { Config.paper_prm with Param.nsegs = 24; max_inodes = 1024 } in
+      let prm = { Config.paper_prm with Param.nsegs = 32; max_inodes = 1024 } in
       let disk = Device.Disk.create engine Device.Disk.rz57 ~name:"rz57" in
       let jb =
         Device.Jukebox.create engine ~drives:2 ~nvolumes:8 ~vol_capacity:(24 * 256)
@@ -50,6 +54,7 @@ let run_policy_trace ~stp ~cache_policy =
       in
       let fs = Highlight.Hl.fs hl in
       let st = Highlight.Hl.state hl in
+      Obs.Decision.install ~metrics:(Highlight.Hl.metrics hl) ();
       ignore (Dir.mkdir fs "/archive");
       let events =
         Trace.generate ~seed:7
@@ -57,25 +62,31 @@ let run_policy_trace ~stp ~cache_policy =
       in
       let read_lat = Sim.Stats.create "read" in
       let migrate_tick = ref 0 in
+      (* migration itself needs log space for its bookkeeping flushes: a
+         disk that filled up mid-burst can leave even the migrator
+         stuck, which the daemon form also tolerates — skip the round *)
+      let migrate ~low_water ~high_water =
+        try
+          ignore
+            (Policy.Automigrate.run_once ~policy_id:(Policy.Stp.policy_id stp) st
+               ~policy:(Policy.Automigrate.stp_policy stp)
+               ~low_water ~high_water)
+        with Fs.No_space | Highlight.State.Tertiary_full -> ()
+      in
       Trace.replay ~engine
         ~write:(fun path ~off data ->
           (try Highlight.Hl.write_file hl path ~off data
            with Fs.No_space ->
              (* emergency: migrate cold data out, reclaim, retry once *)
-             ignore
-               (Policy.Automigrate.run_once st
-                  ~policy:(Policy.Automigrate.stp_policy stp)
-                  ~low_water:(Fs.param fs).Param.nsegs
-                  ~high_water:((Fs.param fs).Param.nsegs * 3 / 4));
+             migrate ~low_water:(Fs.param fs).Param.nsegs
+               ~high_water:((Fs.param fs).Param.nsegs * 3 / 4);
              (try Highlight.Hl.write_file hl path ~off data with Fs.No_space -> ()));
           incr migrate_tick;
           (* the continuously-running migrator wakes between bursts *)
           if !migrate_tick mod 5 = 0 then
-            ignore
-              (Policy.Automigrate.run_once st
-                 ~policy:(Policy.Automigrate.stp_policy stp)
-                 ~low_water:((Fs.param fs).Param.nsegs / 2)
-                 ~high_water:((Fs.param fs).Param.nsegs * 3 / 4)))
+            migrate
+              ~low_water:((Fs.param fs).Param.nsegs / 2)
+              ~high_water:((Fs.param fs).Param.nsegs * 3 / 4))
         ~read:(fun path ~off ~len ->
           match Dir.namei_opt fs path with
           | None -> ()
@@ -86,34 +97,71 @@ let run_policy_trace ~stp ~cache_policy =
         ~delete:(fun path -> try Dir.unlink fs path with Not_found -> ())
         events;
       let s = Highlight.Hl.stats hl in
-      (Sim.Stats.mean read_lat, s.Highlight.Hl.demand_fetches, s.Highlight.Hl.bytes_migrated))
+      let sli = Obs.Decision.sli () in
+      Obs.Decision.uninstall ();
+      (Sim.Stats.mean read_lat, s.Highlight.Hl.demand_fetches, s.Highlight.Hl.bytes_migrated, sli))
 
 let run_policy () =
   let table =
     Tablefmt.create
       ~title:"Ablation: migration ranking x cache eviction (Zipf archival trace)"
-      ~header:[ "STP exponents (t,s)"; "eviction"; "mean read"; "demand fetches"; "MB migrated" ]
+      ~header:
+        [
+          "STP exponents (t,s)"; "eviction"; "mean read"; "demand fetches"; "MB migrated";
+          "mistake rate"; "evict regret";
+        ]
   in
-  List.iter
-    (fun (te, se) ->
-      List.iter
-        (fun (pname, pol) ->
-          let mean, fetches, migrated =
-            run_policy_trace
-              ~stp:{ Policy.Stp.time_exp = te; size_exp = se; min_idle = 30.0 }
-              ~cache_policy:pol
-          in
-          Tablefmt.add_row table
-            [
-              Printf.sprintf "(%.0f,%.0f)" te se;
-              pname;
-              Printf.sprintf "%.3f s" mean;
-              string_of_int fetches;
-              Printf.sprintf "%.1f" (float_of_int migrated /. 1048576.0);
-            ])
-        [ ("lru", Highlight.Seg_cache.Lru); ("least-worthy", Highlight.Seg_cache.Least_worthy) ])
-    [ (1.0, 1.0); (1.0, 0.0); (0.0, 1.0); (2.0, 1.0) ];
-  Tablefmt.print table
+  let variants =
+    List.concat_map
+      (fun (te, se) ->
+        List.map
+          (fun (pname, pol) ->
+            let mean, fetches, migrated, sli =
+              run_policy_trace
+                ~stp:{ Policy.Stp.time_exp = te; size_exp = se; min_idle = 30.0 }
+                ~cache_policy:pol
+            in
+            let mistakes, demotions, regrets, evictions =
+              match sli with
+              | Some s ->
+                  ( s.Obs.Decision.seg_mistakes, s.Obs.Decision.seg_demotions,
+                    s.Obs.Decision.regrets, s.Obs.Decision.evictions )
+              | None -> (0, 0, 0, 0)
+            in
+            let rate a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b in
+            Tablefmt.add_row table
+              [
+                Printf.sprintf "(%.0f,%.0f)" te se;
+                pname;
+                Printf.sprintf "%.3f s" mean;
+                string_of_int fetches;
+                Printf.sprintf "%.1f" (float_of_int migrated /. 1048576.0);
+                Printf.sprintf "%.3f (%d/%d)" (rate mistakes demotions) mistakes demotions;
+                Printf.sprintf "%.3f (%d/%d)" (rate regrets evictions) regrets evictions;
+              ];
+            (te, se, pname, mean, fetches, migrated, mistakes, demotions, regrets, evictions))
+          [ ("lru", Highlight.Seg_cache.Lru); ("least-worthy", Highlight.Seg_cache.Least_worthy) ])
+      [ (1.0, 1.0); (1.0, 0.0); (0.0, 1.0); (2.0, 1.0) ]
+  in
+  Tablefmt.print table;
+  let oc = open_out "BENCH_policy.json" in
+  Printf.fprintf oc "{\n  \"schema\": \"highlight-bench-policy/v1\",\n  \"variants\": [\n";
+  let n = List.length variants in
+  List.iteri
+    (fun i (te, se, pname, mean, fetches, migrated, mistakes, demotions, regrets, evictions) ->
+      let rate a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b in
+      Printf.fprintf oc
+        "    { \"stp\": [%g, %g], \"cache_policy\": %S, \"mean_read_s\": %.6f, \
+         \"demand_fetches\": %d, \"bytes_migrated\": %d, \"seg_demotions\": %d, \
+         \"seg_mistakes\": %d, \"mistake_rate\": %.4f, \"evictions\": %d, \"regrets\": %d, \
+         \"eviction_regret_rate\": %.4f }%s\n"
+        te se pname mean fetches migrated demotions mistakes (rate mistakes demotions)
+        evictions regrets (rate regrets evictions)
+        (if i = n - 1 then "" else ","))
+    variants;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  print_endline "  wrote BENCH_policy.json"
 
 (* ---------- staging (immediate vs delayed copy-out) ---------- *)
 

@@ -207,8 +207,90 @@ let print_profile () =
     (Sim.Ledger.summary ());
   Util.Tablefmt.print t
 
+(* [--decisions] / [--shadow] post-run report: the observatory SLIs, the
+   per-policy breakdowns, and the counterfactual scoreboard of every
+   shadow policy — the "policy X would have recalled 38% fewer bytes"
+   blame lines the ISSUE asks for. *)
+let print_observatory shadows =
+  match Obs.Decision.sli () with
+  | None -> ()
+  | Some s ->
+      print_newline ();
+      Printf.printf
+        "observatory: %d decisions (%d dropped)   migration mistakes: %d/%d demotions \
+         (rate %.3f)\n"
+        s.Obs.Decision.decisions s.Obs.Decision.dropped s.Obs.Decision.seg_mistakes
+        s.Obs.Decision.seg_demotions s.Obs.Decision.mistake_rate;
+      Printf.printf
+        "observatory: file recalls %d/%d (%.1f KB pulled back)   eviction regret: %d/%d \
+         (rate %.3f)\n"
+        s.Obs.Decision.file_recalls s.Obs.Decision.file_demotions
+        (float_of_int s.Obs.Decision.recalled_bytes /. 1024.0)
+        s.Obs.Decision.regrets s.Obs.Decision.evictions s.Obs.Decision.regret_rate;
+      List.iter
+        (fun (e : Obs.Decision.evict_sli) ->
+          Printf.printf "  evict policy %-14s %4d evictions  %4d regrets\n"
+            e.Obs.Decision.ev_policy e.Obs.Decision.ev_evictions e.Obs.Decision.ev_regrets)
+        s.Obs.Decision.by_evict_policy;
+      List.iter
+        (fun (c : Obs.Decision.clean_sli) ->
+          Printf.printf
+            "  clean policy %-14s write-amp %.2f (%d segs, %.1f KB copied / %.1f KB \
+             reclaimed)\n"
+            c.Obs.Decision.cl_policy c.Obs.Decision.cl_write_amp c.Obs.Decision.cl_segments
+            (float_of_int c.Obs.Decision.cl_copied_bytes /. 1024.0)
+            (float_of_int c.Obs.Decision.cl_reclaimed_bytes /. 1024.0))
+        s.Obs.Decision.by_clean_policy;
+      Option.iter
+        (fun t ->
+          let reports = Obs.Shadow.reports t in
+          if reports <> [] then begin
+            let tbl =
+              Util.Tablefmt.create ~title:"shadow policies (counterfactual)"
+                ~header:
+                  [
+                    "policy"; "decisions"; "agree"; "demote"; "recall"; "recalled";
+                    "evict"; "regret"; "copied";
+                  ]
+            in
+            List.iter
+              (fun (r : Obs.Shadow.report) ->
+                Util.Tablefmt.add_row tbl
+                  [
+                    r.Obs.Shadow.r_name;
+                    string_of_int r.Obs.Shadow.r_decisions;
+                    Printf.sprintf "%.2f" r.Obs.Shadow.r_agreement;
+                    string_of_int r.Obs.Shadow.r_demotions;
+                    string_of_int r.Obs.Shadow.r_recalls;
+                    Printf.sprintf "%.1fKB" (float_of_int r.Obs.Shadow.r_recalled_bytes /. 1024.0);
+                    string_of_int r.Obs.Shadow.r_evictions;
+                    string_of_int r.Obs.Shadow.r_regrets;
+                    Printf.sprintf "%.1fKB"
+                      (float_of_int r.Obs.Shadow.r_clean_copied_bytes /. 1024.0);
+                  ])
+              reports;
+            Util.Tablefmt.print tbl;
+            (* the headline: counterfactual recall volume vs the live policy *)
+            List.iter
+              (fun (r : Obs.Shadow.report) ->
+                if s.Obs.Decision.recalled_bytes > 0 && r.Obs.Shadow.r_demotions > 0 then begin
+                  let live = float_of_int s.Obs.Decision.recalled_bytes in
+                  let shad = float_of_int r.Obs.Shadow.r_recalled_bytes in
+                  let pct = 100.0 *. Float.abs (live -. shad) /. live in
+                  if shad <= live then
+                    Printf.printf "  %s would have recalled %.0f%% fewer bytes\n"
+                      r.Obs.Shadow.r_name pct
+                  else
+                    Printf.printf "  %s would have recalled %.0f%% more bytes\n"
+                      r.Obs.Shadow.r_name pct
+                end)
+              reports
+          end)
+        shadows
+
 let simulate nsegs nvolumes seg_blocks media files file_kb policy verbose trace_file
-    metrics_file faults readahead profile snapshots_file snapshot_period gc_stats =
+    metrics_file faults readahead profile snapshots_file snapshot_period gc_stats
+    decisions_file shadow_spec decision_window =
   (* the profile and snapshot files are written after [in_sim] returns:
      shutdown only drains the queues — in-flight transfers finish on
      their own sim time, and their ledgers close after the main process
@@ -222,6 +304,27 @@ let simulate nsegs nvolumes seg_blocks media files file_kb policy verbose trace_
       let hl, jukebox = build_world engine ~nsegs ~nvolumes ~seg_blocks ~media in
       if profile <> None then
         Sim.Ledger.install ~metrics:(Highlight.Hl.metrics hl) engine;
+      (* arm the decision observatory (and its shadows) before any
+         migration or eviction decision can fire *)
+      let obs_on = decisions_file <> None || shadow_spec <> None in
+      let shadows =
+        if not obs_on then None
+        else begin
+          Obs.Decision.install ~window:decision_window
+            ~metrics:(Highlight.Hl.metrics hl) ();
+          match shadow_spec with
+          | None -> None
+          | Some spec -> (
+              match Obs.Shadow.parse_many spec with
+              | Ok specs ->
+                  let t = Obs.Shadow.create specs in
+                  Obs.Shadow.attach t;
+                  Some t
+              | Error msg ->
+                  Printf.eprintf "invalid --shadow %S: %s\n" spec msg;
+                  exit 1)
+        end
+      in
       Option.iter
         (fun _ ->
           sampler :=
@@ -321,6 +424,17 @@ let simulate nsegs nvolumes seg_blocks media files file_kb policy verbose trace_
             (fun (site, n) -> Printf.printf "  %-24s %d\n" site n)
             (Sim.Fault.injected_by_site plan))
         fault_plan;
+      if obs_on then begin
+        print_observatory shadows;
+        Option.iter
+          (fun path ->
+            Obs.Decision.write_ndjson path;
+            Printf.printf "decisions: %d records -> %s\n"
+              (List.length (Obs.Decision.records ()))
+              path)
+          decisions_file;
+        Obs.Decision.uninstall ()
+      end;
       if verbose then begin
         print_newline ();
         print_string (Highlight.Hl_debug.render_hierarchy hl)
@@ -490,6 +604,29 @@ let gcstats_t =
            ~doc:"Report real-machine cost after the run: retired simulator events, CPU \
                  time, events/sec, and GC allocation per event.")
 
+let decisions_t =
+  Arg.(value & opt (some string) None
+       & info [ "decisions" ] ~docv:"FILE"
+           ~doc:"Record every policy decision (migration ranking, cleaner victims, \
+                 volume choice, cache eviction) with its scored inputs and rejected \
+                 candidates, print the closed-loop SLIs (migration mistakes, eviction \
+                 regret, cleaner write-amplification), and write the audit log as \
+                 NDJSON.")
+
+let shadow_t =
+  Arg.(value & opt (some string) None
+       & info [ "shadow" ] ~docv:"SPECS"
+           ~doc:"Replay every decision through shadow policies and report agreement \
+                 and counterfactual mistake rates. SPECS is a '+'-separated list of \
+                 'stp:TE,SE', 'greedy', 'cost_benefit', 'lru', 'least_worthy' \
+                 (e.g. 'stp:2,1+lru'). Implies the decision observatory.")
+
+let decision_window_t =
+  Arg.(value & opt float 1800.0
+       & info [ "decision-window" ] ~docv:"SECONDS"
+           ~doc:"Sim-seconds after a demotion/eviction during which a re-access \
+                 counts as a mistake/regret (with --decisions/--shadow).")
+
 let readahead_t =
   Arg.(value & opt string "none"
        & info [ "readahead" ] ~docv:"POLICY"
@@ -526,12 +663,13 @@ let () =
               Term.(const (fun lvl a b c -> setup_logs lvl; layout a b c)
                     $ log_t $ nsegs_t $ nvols_t $ segblocks_t);
             Cmd.v (Cmd.info "simulate" ~doc:"Run a write/migrate/fetch scenario")
-              Term.(const (fun lvl a b c d e f g h i j k l m n o p ->
+              Term.(const (fun lvl a b c d e f g h i j k l m n o p q r s ->
                         setup_logs lvl;
-                        simulate a b c d e f g h i j k l m n o p)
+                        simulate a b c d e f g h i j k l m n o p q r s)
                     $ log_t $ nsegs_t $ nvols_t $ segblocks_t $ media_t $ files_t $ filekb_t
                     $ policy_t $ verbose_t $ trace_t $ metrics_t $ faults_t $ readahead_t
-                    $ profile_t $ snapshots_t $ snapshot_period_t $ gcstats_t);
+                    $ profile_t $ snapshots_t $ snapshot_period_t $ gcstats_t
+                    $ decisions_t $ shadow_t $ decision_window_t);
             Cmd.v (Cmd.info "grow" ~doc:"Demonstrate on-line disk addition (dead-zone claiming)")
               Term.(const (fun lvl a b c d -> setup_logs lvl; grow a b c d)
                     $ log_t $ nsegs_t $ nvols_t $ segblocks_t

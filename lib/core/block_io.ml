@@ -100,6 +100,8 @@ let rec tertiary_read st ~blk ~count =
       (* somebody else's fetch is in flight: ride along (a hint line
          demanded while still in flight is an accurate prefetch) *)
       note_prefetch_used st line;
+      if Obs.Decision.enabled () then
+        Obs.Decision.note_segment_access ~now:(Sim.Engine.now st.engine) ~miss:false tindex;
       match
         timed_wait st "cache.pin_wait_s" (fun () -> await_extent st line ~off ~count)
       with
@@ -109,6 +111,8 @@ let rec tertiary_read st ~blk ~count =
       Seg_cache.note_hit st.cache;
       Sim.Metrics.incr (Sim.Metrics.counter st.metrics "cache.hits");
       note_prefetch_used st line;
+      if Obs.Decision.enabled () then
+        Obs.Decision.note_segment_access ~now:(Sim.Engine.now st.engine) ~miss:false tindex;
       Seg_cache.pin line;
       Seg_cache.touch st.cache line ~now:(Sim.Engine.now st.engine);
       let data =
@@ -127,6 +131,10 @@ let rec tertiary_read st ~blk ~count =
   | None -> (
       Seg_cache.note_miss st.cache;
       Sim.Metrics.incr (Sim.Metrics.counter st.metrics "cache.misses");
+      (* a miss on a recently demoted or evicted segment is the
+         observatory's migration-mistake / eviction-regret signal *)
+      if Obs.Decision.enabled () then
+        Obs.Decision.note_segment_access ~now:(Sim.Engine.now st.engine) ~miss:true tindex;
       st.demand_fetches <- st.demand_fetches + 1;
       (* tell the notification agent the caller is in for a wait *)
       st.on_fetch_start tindex;

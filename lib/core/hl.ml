@@ -25,7 +25,7 @@ let hooks st =
   {
     Fs.reclaim =
       (fun () ->
-        match Seg_cache.choose_victim st.State.cache with
+        match Service.choose_victim st with
         | Some victim ->
             Service.eject st victim;
             true
@@ -290,6 +290,10 @@ type stats = {
   io_retries : int;
   io_failures : int;
   faults_injected : int;
+  tcleaner_volumes_cleaned : int;
+  tcleaner_segments_scanned : int;
+  tcleaner_blocks_remigrated : int;
+  tcleaner_inodes_remigrated : int;
   attribution : (string * float) list;
 }
 
@@ -358,6 +362,10 @@ let stats t =
     io_retries = count "service.retries";
     io_failures = count "service.io_failures";
     faults_injected = count "faults.injected";
+    tcleaner_volumes_cleaned = count "tcleaner.volumes_cleaned";
+    tcleaner_segments_scanned = count "tcleaner.segments_scanned";
+    tcleaner_blocks_remigrated = count "tcleaner.blocks_remigrated";
+    tcleaner_inodes_remigrated = count "tcleaner.inodes_remigrated";
     attribution = attribution_breakdown ();
   }
 

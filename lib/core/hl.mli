@@ -177,6 +177,18 @@ type stats = {
   faults_injected : int;
       (** Faults fired by the ambient {!Sim.Fault} plan against this
           instance's devices (["faults.injected"]; 0 with no plan). *)
+  tcleaner_volumes_cleaned : int;
+      (** Tertiary-volume cleaning passes completed
+          (["tcleaner.volumes_cleaned"]). *)
+  tcleaner_segments_scanned : int;
+      (** Tertiary segments examined for live data during volume cleans
+          (["tcleaner.segments_scanned"]). *)
+  tcleaner_blocks_remigrated : int;
+      (** Live blocks re-staged off cleaned volumes
+          (["tcleaner.blocks_remigrated"]). *)
+  tcleaner_inodes_remigrated : int;
+      (** Inodes whose blocks were pulled back by volume cleaning
+          (["tcleaner.inodes_remigrated"]). *)
   attribution : (string * float) list;
       (** Wait-profile blame per {!Sim.Ledger} category (seconds, summed
           over every request class, highest first); [] when no ledger

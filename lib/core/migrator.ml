@@ -165,6 +165,10 @@ let stage_segment ?(defer = false) st ~inode_set blocks =
   st.blocks_migrated <- st.blocks_migrated + List.length live;
   st.bytes_migrated <- st.bytes_migrated + (List.length live * bs);
   st.segments_staged <- st.segments_staged + 1;
+  (* a demand miss on this segment within the mistake window marks the
+     demotion as a migration mistake *)
+  if Obs.Decision.enabled () then
+    Obs.Decision.note_segment_demoted ~now:(Sim.Engine.now st.engine) tindex;
   Sim.Metrics.incr (Sim.Metrics.counter st.metrics "migrator.segments_staged");
   Sim.Metrics.incr ~by:(List.length live)
     (Sim.Metrics.counter st.metrics "migrator.blocks_migrated");
@@ -307,9 +311,17 @@ let migrate_files st ?(wait = true) ?(checkpoint = true) ?(with_inodes = true)
       | exception Not_found -> ()
       | ino ->
           migratable := inum :: !migratable;
+          let had = ref false in
           File.iter_assigned_blocks fsys ino (fun bkey addr ->
-              if not (Addr_space.is_tertiary st.aspace addr) then
-                candidates := (inum, bkey) :: !candidates))
+              if not (Addr_space.is_tertiary st.aspace addr) then begin
+                had := true;
+                candidates := (inum, bkey) :: !candidates
+              end);
+          (* a read of this file within the mistake window counts as a
+             recall against the migration decision that demoted it *)
+          if !had && Obs.Decision.enabled () then
+            Obs.Decision.note_file_demoted ~now:(Sim.Engine.now st.engine) ~inum
+              ~bytes:ino.Inode.size)
     inums;
   let candidates = List.rev !candidates in
   let inode_set = if with_inodes then List.rev !migratable else [] in

@@ -77,6 +77,12 @@ let set_on_free t f = t.on_free <- f
 
 let policy t = t.pol
 let set_policy t p = t.pol <- p
+
+let policy_name t =
+  match t.pol with
+  | Lru -> "lru"
+  | Random_evict -> "random"
+  | Least_worthy -> "least_worthy"
 let max_lines t = t.max
 let length t = Hashtbl.length t.table
 let find t tindex = Hashtbl.find_opt t.table tindex

@@ -64,6 +64,10 @@ type t
 val create : ?policy:policy -> ?seed:int -> max_lines:int -> unit -> t
 val policy : t -> policy
 val set_policy : t -> policy -> unit
+
+val policy_name : t -> string
+(** The policy id used in decision records and eviction-regret SLIs. *)
+
 val max_lines : t -> int
 val length : t -> int
 
@@ -89,6 +93,9 @@ val set_on_free : t -> (unit -> unit) -> unit
 (** Callback invoked whenever a line leaves the directory or loses its
     last pin — i.e. whenever an allocation waiter may now succeed. The
     service layer routes this to {!State.t.cache_progress}. *)
+
+val evictable : line -> bool
+(** Unpinned and Resident / Staged_clean — a legal eviction victim. *)
 
 val choose_victim : t -> line option
 (** An unpinned, evictable (Resident / Staged_clean) line according to

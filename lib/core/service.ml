@@ -24,11 +24,46 @@ let eject st line =
     (* fires the segments_freed hook, waking allocation waiters *)
     Lfs.Fs.release_segment (fs st) line.Seg_cache.disk_seg
 
+(* Victim selection with the decision observatory looking over its
+   shoulder: every policy-chosen eviction (as opposed to a deliberate
+   eject, e.g. [Hl.eject_tertiary_copies]) emits a Cache_evict record —
+   the victim plus the candidates passed over, with idle/worthiness/
+   heat features — and registers for the eviction-regret SLI. *)
+let choose_victim st =
+  match Seg_cache.choose_victim st.cache with
+  | None -> None
+  | Some victim ->
+      if Obs.Decision.enabled () then begin
+        let now = now st in
+        let pol = Seg_cache.policy_name st.cache in
+        let cand (l : Seg_cache.line) =
+          Obs.Decision.candidate l.Seg_cache.tindex
+            ~feats:
+              {
+                Obs.Decision.idle = Float.max 0.0 (now -. l.Seg_cache.last_use);
+                size = 0;
+                (* util doubles as the re-reference (worthiness) bit *)
+                util = (if l.Seg_cache.worthy then 1.0 else 0.0);
+                temp = Obs.Decision.segment_temp ~now l.Seg_cache.tindex;
+                age = Float.max 0.0 (now -. l.Seg_cache.fetched_at);
+              }
+        in
+        let rejected =
+          Seg_cache.lines st.cache
+          |> List.filter (fun l -> l != victim && Seg_cache.evictable l)
+          |> List.map cand
+        in
+        Obs.Decision.emit ~now ~site:Obs.Decision.Cache_evict ~policy:pol
+          ~chosen:[ cand victim ] ~rejected ();
+        Obs.Decision.note_evicted ~now ~policy:pol victim.Seg_cache.tindex
+      end;
+      Some victim
+
 let eject_idle st ~keep =
   let ejected = ref 0 in
   let rec go () =
     if Seg_cache.length st.cache > keep then
-      match Seg_cache.choose_victim st.cache with
+      match choose_victim st with
       | Some victim ->
           eject st victim;
           incr ejected;
@@ -44,11 +79,11 @@ let try_allocate ?(staging = false) st =
   let fsys = fs st in
   let cap = Seg_cache.max_lines st.cache in
   if Seg_cache.length st.cache > cap then
-    Option.iter (eject st) (Seg_cache.choose_victim st.cache);
+    Option.iter (eject st) (choose_victim st);
   match Lfs.Fs.alloc_clean_segment fsys ~for_cache:(not staging) with
   | Some seg -> Some seg
   | None -> (
-      match Seg_cache.choose_victim st.cache with
+      match choose_victim st with
       | Some victim ->
           eject st victim;
           Lfs.Fs.alloc_clean_segment fsys ~for_cache:(not staging)
@@ -66,7 +101,7 @@ let allocate_cache_line ?(staging = false) st =
   let rec go waits =
     if waits > 100000 then failwith "Service: no cache line obtainable";
     if Seg_cache.length st.cache > cap then begin
-      match Seg_cache.choose_victim st.cache with
+      match choose_victim st with
       | Some victim ->
           eject st victim;
           go waits
@@ -78,7 +113,7 @@ let allocate_cache_line ?(staging = false) st =
       match Lfs.Fs.alloc_clean_segment fsys ~for_cache:(not staging) with
       | Some seg -> seg
       | None -> (
-          match Seg_cache.choose_victim st.cache with
+          match choose_victim st with
           | Some victim ->
               eject st victim;
               go waits

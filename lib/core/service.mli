@@ -22,6 +22,12 @@ val eject : State.t -> Seg_cache.line -> unit
 (** Synchronously discards a cache line (must be evictable), returning
     its disk segment to the clean pool. *)
 
+val choose_victim : State.t -> Seg_cache.line option
+(** Policy victim selection with decision observability: when the
+    observatory is installed, emits a [Cache_evict] decision record
+    (victim plus passed-over candidates) and registers the victim for
+    the eviction-regret SLI. Zero-cost when the observatory is off. *)
+
 val eject_idle : State.t -> keep:int -> int
 (** Migrator-style housekeeping: evicts least-valuable lines until at
     most [keep] remain. Returns the number ejected. *)

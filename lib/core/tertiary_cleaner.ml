@@ -29,16 +29,43 @@ let volume_used_segs st vol =
 let select_volume st =
   let fsys = fs st in
   let writing = Fs.tvol fsys in
-  let best = ref None in
-  for vol = 0 to Addr_space.nvolumes st.aspace - 1 do
-    if vol <> writing && volume_used_segs st vol > 0 then begin
-      let live = volume_live_bytes st vol in
-      match !best with
-      | Some (_, best_live) when best_live <= live -> ()
-      | _ -> best := Some (vol, live)
-    end
+  let candidates = ref [] in
+  for vol = Addr_space.nvolumes st.aspace - 1 downto 0 do
+    if vol <> writing && volume_used_segs st vol > 0 then
+      candidates := (vol, volume_live_bytes st vol) :: !candidates
   done;
-  Option.map fst !best
+  (* least live data first; the earlier volume wins ties, preserving
+     the original scan order *)
+  let ranked =
+    List.stable_sort (fun (_, a) (_, b) -> compare (a : int) b) !candidates
+  in
+  match ranked with
+  | [] -> None
+  | (vol, _) :: _ as all ->
+      if Obs.Decision.enabled () then begin
+        let now = Sim.Engine.now st.engine in
+        let spv = Addr_space.segs_per_volume st.aspace in
+        let bs = st.disk.Lfs.Dev.block_size in
+        let vol_bytes = spv * seg_blocks st * bs in
+        let cand (v, live) =
+          Obs.Decision.candidate v
+            ~label:(Printf.sprintf "vol%d" v)
+            ~score:(-.float_of_int live)
+            ~feats:
+              {
+                Obs.Decision.idle = 0.0;
+                size = live;
+                util = float_of_int live /. float_of_int (max 1 vol_bytes);
+                temp = 0.0;
+                age = 0.0;
+              }
+        in
+        Obs.Decision.emit ~now ~site:Obs.Decision.Tclean_volume ~policy:"least_live"
+          ~chosen:[ cand (List.hd all) ]
+          ~rejected:(List.map cand (List.tl all))
+          ()
+      end;
+      Some vol
 
 (* Scan one tertiary segment image for live contents. Staged segments
    carry a single summary in block 0 covering the whole payload. *)
@@ -141,6 +168,10 @@ let clean_volume st vol =
   done;
   Fs.checkpoint fsys;
   Sim.Metrics.incr ~by:!moved (Sim.Metrics.counter st.metrics "tcleaner.blocks_remigrated");
+  Sim.Metrics.incr ~by:!scanned (Sim.Metrics.counter st.metrics "tcleaner.segments_scanned");
+  Sim.Metrics.incr
+    ~by:(List.length remigrated_inodes)
+    (Sim.Metrics.counter st.metrics "tcleaner.inodes_remigrated");
   {
     volume = vol;
     segments_scanned = !scanned;

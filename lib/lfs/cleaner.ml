@@ -1,5 +1,7 @@
 type policy = Greedy | Cost_benefit
 
+let policy_name = function Greedy -> "greedy" | Cost_benefit -> "cost_benefit"
+
 type result = { segments_cleaned : int; blocks_moved : int; bytes_moved : int }
 
 let select_victims fs ~policy ~limit =
@@ -19,10 +21,26 @@ let select_victims fs ~policy ~limit =
         (* higher benefit = better victim; negate for ascending sort *)
         -.((1.0 -. u) *. age /. (1.0 +. u))
   in
-  !candidates
-  |> List.sort (fun a b -> Float.compare (score a) (score b))
-  |> List.filteri (fun i _ -> i < limit)
-  |> List.map fst
+  let ranked = List.sort (fun a b -> Float.compare (score a) (score b)) !candidates in
+  let victims = List.filteri (fun i _ -> i < limit) ranked in
+  if victims <> [] && Obs.Decision.enabled () then begin
+    let now = Fs.now fs in
+    let cand ((seg, (e : Segusage.entry)) as c) =
+      Obs.Decision.candidate seg ~score:(score c)
+        ~feats:
+          {
+            Obs.Decision.idle = 0.0;
+            size = e.live_bytes;
+            util = float_of_int e.live_bytes /. float_of_int seg_bytes;
+            temp = 0.0;
+            age = Float.max 0.0 (now -. e.lastmod);
+          }
+    in
+    let rest = List.filteri (fun i _ -> i >= limit) ranked in
+    Obs.Decision.emit ~now ~site:Obs.Decision.Clean_victims ~policy:(policy_name policy)
+      ~chosen:(List.map cand victims) ~rejected:(List.map cand rest) ()
+  end;
+  List.map fst victims
 
 (* Walk a segment's chain of partial summaries. *)
 let fold_partials fs seg f acc =
@@ -137,7 +155,18 @@ let clean_once fs ?(policy = Cost_benefit) ?(max_segments = 4) () =
   let max_segments = min max_segments (max 1 (Fs.nclean fs - 1)) in
   match select_victims fs ~policy ~limit:max_segments with
   | [] -> { segments_cleaned = 0; blocks_moved = 0; bytes_moved = 0 }
-  | victims -> clean_segments fs victims
+  | victims ->
+      let before = Fs.nclean fs in
+      let r = clean_segments fs victims in
+      if Obs.Decision.enabled () then begin
+        (* write-amplification per policy: bytes copied forward against
+           net log space reclaimed by the pass *)
+        let seg_bytes = Param.seg_bytes (Fs.param fs) in
+        Obs.Decision.note_cleaned ~policy:(policy_name policy)
+          ~segments:r.segments_cleaned ~bytes_moved:r.bytes_moved
+          ~bytes_reclaimed:(max 0 ((Fs.nclean fs - before) * seg_bytes))
+      end;
+      r
 
 let clean_until fs ?(policy = Cost_benefit) ~target_clean () =
   let total = ref { segments_cleaned = 0; blocks_moved = 0; bytes_moved = 0 } in
@@ -146,9 +175,20 @@ let clean_until fs ?(policy = Cost_benefit) ~target_clean () =
       let before = Fs.nclean fs in
       let r =
         (* a cleaning pass that cannot fit its own copies stops the loop
-           rather than killing the caller; the disk is simply full *)
-        try clean_once fs ~policy ()
-        with Fs.No_space -> { segments_cleaned = 0; blocks_moved = 0; bytes_moved = 0 }
+           rather than killing the caller; the disk is simply full. The
+           stall is made visible (trace instant + counter) rather than
+           silently absorbed, and anything other than No_space — a
+           policy or I/O bug — propagates instead of hiding here. *)
+        match clean_once fs ~policy () with
+        | r -> r
+        | exception Fs.No_space ->
+            Sim.Trace.instant ~track:"cleaner" ~cat:"cleaner" "clean-nospace";
+            Obs.Decision.count_event "cleaner.nospace_stalls";
+            { segments_cleaned = 0; blocks_moved = 0; bytes_moved = 0 }
+        | exception e ->
+            Sim.Trace.instant ~track:"cleaner" ~cat:"cleaner" "clean-error"
+              ~args:[ ("exn", Printexc.to_string e) ];
+            raise e
       in
       (* cleaning segments full of live data only shuffles it; stop when
          a pass yields no net gain (the space must come from deletion or

@@ -13,6 +13,9 @@ type policy =
   | Greedy  (** least live bytes first *)
   | Cost_benefit  (** Sprite's (1-u)·age/(1+u) ranking *)
 
+val policy_name : policy -> string
+(** The policy id used in decision records and write-amp SLIs. *)
+
 type result = {
   segments_cleaned : int;
   blocks_moved : int;

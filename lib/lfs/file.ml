@@ -52,6 +52,8 @@ let write fs ino ~off data =
     Fs.maybe_flush fs
   done;
   ino.Inode.mtime <- Fs.now fs;
+  if Obs.Decision.enabled () then
+    Obs.Decision.touch_file ~now:(Fs.now fs) ~write:true ino.Inode.inum;
   Fs.mark_inode_dirty fs ino;
   Fs.maybe_flush fs
 

@@ -137,7 +137,11 @@ let free_inode t inum =
   Hashtbl.remove t.itable inum;
   Hashtbl.remove t.dirty_inodes inum
 
-let touch_atime t inum = Imap.set_atime t.inode_map inum (now t)
+let touch_atime t inum =
+  Imap.set_atime t.inode_map inum (now t);
+  (* the observatory's file-heat tracker and file-recall SLI feed on
+     exactly the accesses that move atime *)
+  if Obs.Decision.enabled () then Obs.Decision.touch_file ~now:(now t) inum
 
 (* ---------- Block mapping ---------- *)
 

@@ -1,0 +1,43 @@
+type cell = { mutable temp : float; mutable last : float }
+
+type t = {
+  half_life : float;
+  capacity : int;
+  cells : (int, cell) Hashtbl.t;
+}
+
+let create ?(half_life = 3600.0) ?(capacity = 65536) () =
+  if half_life <= 0.0 || capacity < 2 then invalid_arg "Heat.create";
+  { half_life; capacity; cells = Hashtbl.create 256 }
+
+let half_life t = t.half_life
+
+let decayed t cell ~now =
+  if now <= cell.last then cell.temp
+  else cell.temp *. Float.pow 0.5 ((now -. cell.last) /. t.half_life)
+
+(* Bound the table: on overflow, keep only the hottest half. Rare
+   (once per capacity/2 new keys at steady state), so the O(n log n)
+   sort is fine. *)
+let sweep t ~now =
+  let all = Hashtbl.fold (fun k c acc -> (k, decayed t c ~now) :: acc) t.cells [] in
+  let sorted = List.sort (fun (_, a) (_, b) -> Float.compare a b) all in
+  let drop = List.length sorted - (t.capacity / 2) in
+  List.iteri (fun i (k, _) -> if i < drop then Hashtbl.remove t.cells k) sorted
+
+let touch t ~now ?(weight = 1.0) key =
+  match Hashtbl.find_opt t.cells key with
+  | Some cell ->
+      cell.temp <- decayed t cell ~now +. weight;
+      if now > cell.last then cell.last <- now
+  | None ->
+      if Hashtbl.length t.cells >= t.capacity then sweep t ~now;
+      Hashtbl.replace t.cells key { temp = weight; last = now }
+
+let get t ~now key =
+  match Hashtbl.find_opt t.cells key with
+  | Some cell -> decayed t cell ~now
+  | None -> 0.0
+
+let size t = Hashtbl.length t.cells
+let clear t = Hashtbl.reset t.cells

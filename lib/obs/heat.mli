@@ -1,0 +1,27 @@
+(** Exponentially-decaying temperature tracker (half-life decay).
+
+    Each key carries a temperature that halves every [half_life]
+    simulated seconds and gains [weight] on every touch:
+
+      temp(now) = temp(last) * 0.5 ^ ((now - last) / half_life)
+
+    so a file read ten half-lives ago contributes ~0.1% of a fresh
+    read. Decay is computed lazily at touch/read time — an idle key
+    costs nothing. The table is bounded: when [capacity] keys are
+    tracked, the coldest half is swept out. *)
+
+type t
+
+val create : ?half_life:float -> ?capacity:int -> unit -> t
+(** Defaults: one-hour half-life, 65536 tracked keys. *)
+
+val half_life : t -> float
+
+val touch : t -> now:float -> ?weight:float -> int -> unit
+(** Decay to [now], then add [weight] (default 1.0). *)
+
+val get : t -> now:float -> int -> float
+(** Temperature decayed to [now]; 0.0 for a never-touched key. *)
+
+val size : t -> int
+val clear : t -> unit

@@ -1,0 +1,288 @@
+type spec =
+  | Stp of float * float
+  | Greedy
+  | Cost_benefit
+  | Lru
+  | Least_worthy
+
+let spec_name = function
+  | Stp (te, se) -> Printf.sprintf "stp:%g,%g" te se
+  | Greedy -> "greedy"
+  | Cost_benefit -> "cost_benefit"
+  | Lru -> "lru"
+  | Least_worthy -> "least_worthy"
+
+let parse s =
+  let s = String.lowercase_ascii (String.trim s) in
+  match s with
+  | "greedy" -> Ok Greedy
+  | "cost_benefit" | "cost-benefit" -> Ok Cost_benefit
+  | "lru" -> Ok Lru
+  | "least_worthy" | "least-worthy" -> Ok Least_worthy
+  | _ when String.length s > 4 && String.sub s 0 4 = "stp:" -> (
+      match String.split_on_char ',' (String.sub s 4 (String.length s - 4)) with
+      | [ te; se ] -> (
+          match (float_of_string_opt te, float_of_string_opt se) with
+          | Some te, Some se -> Ok (Stp (te, se))
+          | _ -> Error (Printf.sprintf "bad stp exponents in %S" s))
+      | _ -> Error (Printf.sprintf "stp shadow needs two exponents, got %S" s))
+  | _ ->
+      Error
+        (Printf.sprintf
+           "unknown shadow policy %S (stp:TE,SE | greedy | cost_benefit | lru | least_worthy)" s)
+
+let parse_many s =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | spec :: rest -> (
+        match parse spec with Ok p -> go (p :: acc) rest | Error _ as e -> e)
+  in
+  match String.split_on_char '+' s |> List.filter (fun x -> String.trim x <> "") with
+  | [] -> Error "empty shadow spec"
+  | specs -> ( match go [] specs with Ok l -> Ok l | Error e -> Error e)
+
+type shadow = {
+  spec : spec;
+  sname : string;
+  mutable decisions : int;
+  mutable agreement_sum : float;
+  (* counterfactual demotions: inum -> (time, bytes) *)
+  picks : (int, float * int) Hashtbl.t;
+  mutable demotions : int;
+  mutable recalls : int;
+  mutable recalled_bytes : int;
+  (* counterfactual evictions: tindex -> time *)
+  evicts : (int, float) Hashtbl.t;
+  mutable evictions : int;
+  mutable regrets : int;
+  mutable clean_copied : int;
+  mutable clean_actual : int;
+}
+
+type t = { shadows : shadow list }
+
+let create specs =
+  {
+    shadows =
+      List.map
+        (fun spec ->
+          {
+            spec;
+            sname = spec_name spec;
+            decisions = 0;
+            agreement_sum = 0.0;
+            picks = Hashtbl.create 64;
+            demotions = 0;
+            recalls = 0;
+            recalled_bytes = 0;
+            evicts = Hashtbl.create 64;
+            evictions = 0;
+            regrets = 0;
+            clean_copied = 0;
+            clean_actual = 0;
+          })
+        specs;
+  }
+
+let jaccard a b =
+  let module IS = Set.Make (Int) in
+  let sa = IS.of_list a and sb = IS.of_list b in
+  let u = IS.cardinal (IS.union sa sb) in
+  if u = 0 then 1.0 else float_of_int (IS.cardinal (IS.inter sa sb)) /. float_of_int u
+
+(* Selection shadows re-rank all candidates by their own score and
+   greedy-take to the recorded byte budget, exactly as Stp.select does.
+   Ties break on cid so the ordering is deterministic. *)
+let stp_score te se (c : Decision.candidate) =
+  Float.pow (Float.max 0.0 c.Decision.feats.Decision.idle) te
+  *. Float.pow (float_of_int (max 1 c.Decision.feats.Decision.size)) se
+
+let rank_desc score cands =
+  List.sort
+    (fun (a : Decision.candidate) b ->
+      match Float.compare (score b) (score a) with
+      | 0 -> Int.compare a.Decision.cid b.Decision.cid
+      | c -> c)
+    cands
+
+let take_budget budget fallback_count cands =
+  if budget > 0 then begin
+    let rec go acc bytes = function
+      | [] -> List.rev acc
+      | (c : Decision.candidate) :: rest ->
+          if bytes >= budget then List.rev acc
+          else go (c :: acc) (bytes + c.Decision.feats.Decision.size) rest
+    in
+    go [] 0 cands
+  end
+  else begin
+    let rec go acc n = function
+      | c :: rest when n > 0 -> go (c :: acc) (n - 1) rest
+      | _ -> List.rev acc
+    in
+    go [] fallback_count cands
+  end
+
+let cids = List.map (fun (c : Decision.candidate) -> c.Decision.cid)
+
+let register_picks sh ~now (picked : Decision.candidate list) =
+  List.iter
+    (fun (c : Decision.candidate) ->
+      match c.Decision.members with
+      | [] ->
+          if not (Hashtbl.mem sh.picks c.Decision.cid) then sh.demotions <- sh.demotions + 1;
+          Hashtbl.replace sh.picks c.Decision.cid (now, c.Decision.feats.Decision.size)
+      | members ->
+          (* grouped candidate (namespace unit): counterfactually every
+             member migrates; bytes split evenly across them *)
+          let per = c.Decision.feats.Decision.size / max 1 (List.length members) in
+          List.iter
+            (fun m ->
+              if not (Hashtbl.mem sh.picks m) then sh.demotions <- sh.demotions + 1;
+              Hashtbl.replace sh.picks m (now, per))
+            members)
+    picked
+
+let clean_score spec (c : Decision.candidate) =
+  match spec with
+  | Greedy -> float_of_int c.Decision.feats.Decision.size
+  | Cost_benefit ->
+      let u = c.Decision.feats.Decision.util in
+      let age = Float.max 1.0 c.Decision.feats.Decision.age in
+      -.((1.0 -. u) *. age /. (1.0 +. u))
+  | _ -> 0.0
+
+let evict_pick spec (cands : Decision.candidate list) =
+  match cands with
+  | [] -> None
+  | _ -> (
+      let by f =
+        List.fold_left
+          (fun (best : Decision.candidate) (c : Decision.candidate) ->
+            if f c > f best || (f c = f best && c.Decision.cid < best.Decision.cid) then c
+            else best)
+          (List.hd cands) (List.tl cands)
+      in
+      match spec with
+      | Lru -> Some (by (fun c -> c.Decision.feats.Decision.idle))
+      | Least_worthy -> (
+          (* util carries the worthiness bit for eviction records *)
+          match List.filter (fun c -> c.Decision.feats.Decision.util < 0.5) cands with
+          | [] -> Some (by (fun c -> c.Decision.feats.Decision.idle))
+          | unworthy ->
+              Some
+                (List.fold_left
+                   (fun best c ->
+                     if
+                       c.Decision.feats.Decision.age > best.Decision.feats.Decision.age
+                       || (c.Decision.feats.Decision.age = best.Decision.feats.Decision.age
+                           && c.Decision.cid < best.Decision.cid)
+                     then c
+                     else best)
+                   (List.hd unworthy) (List.tl unworthy)))
+      | _ -> None)
+
+let on_record sh (r : Decision.record) =
+  let all = r.Decision.chosen @ r.Decision.rejected in
+  match (sh.spec, r.Decision.site) with
+  | Stp (te, se), (Decision.Stp_rank | Decision.Namespace_rank) ->
+      let picked =
+        take_budget r.Decision.budget (List.length r.Decision.chosen)
+          (rank_desc (stp_score te se) all)
+      in
+      sh.decisions <- sh.decisions + 1;
+      sh.agreement_sum <-
+        sh.agreement_sum +. jaccard (cids r.Decision.chosen) (cids picked);
+      register_picks sh ~now:r.Decision.time picked
+  | (Greedy | Cost_benefit), Decision.Clean_victims ->
+      let ranked =
+        List.sort
+          (fun (a : Decision.candidate) b ->
+            match Float.compare (clean_score sh.spec a) (clean_score sh.spec b) with
+            | 0 -> Int.compare a.Decision.cid b.Decision.cid
+            | c -> c)
+          all
+      in
+      let picked = take_budget 0 (List.length r.Decision.chosen) ranked in
+      sh.decisions <- sh.decisions + 1;
+      sh.agreement_sum <-
+        sh.agreement_sum +. jaccard (cids r.Decision.chosen) (cids picked);
+      sh.clean_copied <-
+        sh.clean_copied
+        + List.fold_left (fun a (c : Decision.candidate) -> a + c.Decision.feats.Decision.size) 0 picked;
+      sh.clean_actual <-
+        sh.clean_actual
+        + List.fold_left
+            (fun a (c : Decision.candidate) -> a + c.Decision.feats.Decision.size)
+            0 r.Decision.chosen
+  | (Lru | Least_worthy), Decision.Cache_evict -> (
+      match evict_pick sh.spec all with
+      | None -> ()
+      | Some victim ->
+          sh.decisions <- sh.decisions + 1;
+          sh.agreement_sum <-
+            sh.agreement_sum +. jaccard (cids r.Decision.chosen) [ victim.Decision.cid ];
+          if not (Hashtbl.mem sh.evicts victim.Decision.cid) then
+            sh.evictions <- sh.evictions + 1;
+          Hashtbl.replace sh.evicts victim.Decision.cid r.Decision.time)
+  | _ -> ()
+
+let on_file_access sh window ~now inum =
+  match Hashtbl.find_opt sh.picks inum with
+  | Some (t0, bytes) ->
+      Hashtbl.remove sh.picks inum;
+      if now -. t0 <= window then begin
+        sh.recalls <- sh.recalls + 1;
+        sh.recalled_bytes <- sh.recalled_bytes + bytes
+      end
+  | None -> ()
+
+(* In the shadow's world its victim left the cache, so ANY access to it
+   within the window would have been a demand fetch — symmetric to the
+   real policy's regret, which is a miss-access of a really-gone line. *)
+let on_segment_access sh window ~now tindex =
+  match Hashtbl.find_opt sh.evicts tindex with
+  | Some t0 ->
+      Hashtbl.remove sh.evicts tindex;
+      if now -. t0 <= window then sh.regrets <- sh.regrets + 1
+  | None -> ()
+
+let attach t =
+  let window = Decision.mistake_window () in
+  List.iter
+    (fun sh ->
+      Decision.add_sink (on_record sh);
+      Decision.add_file_access_sink (on_file_access sh window);
+      Decision.add_segment_access_sink (on_segment_access sh window))
+    t.shadows
+
+type report = {
+  r_name : string;
+  r_decisions : int;
+  r_agreement : float;
+  r_demotions : int;
+  r_recalls : int;
+  r_recalled_bytes : int;
+  r_evictions : int;
+  r_regrets : int;
+  r_clean_copied_bytes : int;
+  r_clean_actual_bytes : int;
+}
+
+let reports t =
+  List.map
+    (fun sh ->
+      {
+        r_name = sh.sname;
+        r_decisions = sh.decisions;
+        r_agreement =
+          (if sh.decisions = 0 then 1.0 else sh.agreement_sum /. float_of_int sh.decisions);
+        r_demotions = sh.demotions;
+        r_recalls = sh.recalls;
+        r_recalled_bytes = sh.recalled_bytes;
+        r_evictions = sh.evictions;
+        r_regrets = sh.regrets;
+        r_clean_copied_bytes = sh.clean_copied;
+        r_clean_actual_bytes = sh.clean_actual;
+      })
+    t.shadows

@@ -1,0 +1,58 @@
+(** Shadow-policy counterfactual evaluation.
+
+    A shadow policy re-makes every recorded decision from the record's
+    own candidate features — without acting on it — and is then scored
+    against the same access stream the real policy faces:
+
+    - a file the shadow would have demoted, then read within the
+      mistake window, is a {e counterfactual mistake} (and its bytes a
+      counterfactual recall);
+    - a cache line the shadow would have evicted, then accessed within
+      the window, is a {e counterfactual regret} (in the shadow's
+      world that line is gone, so any access to it is a demand fetch);
+    - for the cleaner, the live bytes of the shadow's victims estimate
+      the copy-forward cost it would have paid.
+
+    The usual shadow-evaluation caveat applies: after the first
+    disagreement the counterfactual world diverges from the real one
+    (the shadow's candidate pool is the real policy's), so deltas are
+    first-order estimates, not replays. Agreement rate says how often
+    that caveat even matters. *)
+
+type spec =
+  | Stp of float * float  (** time exponent, size exponent *)
+  | Greedy
+  | Cost_benefit
+  | Lru
+  | Least_worthy
+
+val parse : string -> (spec, string) result
+(** "stp:TE,SE" | "greedy" | "cost_benefit" | "lru" | "least_worthy". *)
+
+val parse_many : string -> (spec list, string) result
+(** '+'-separated list of specs (e.g. "stp:2,1+lru"). *)
+
+val spec_name : spec -> string
+
+type report = {
+  r_name : string;
+  r_decisions : int;  (** decisions this shadow could re-make *)
+  r_agreement : float;  (** mean Jaccard overlap with the real choice *)
+  r_demotions : int;  (** files the shadow would have demoted *)
+  r_recalls : int;  (** ... that were then read within the window *)
+  r_recalled_bytes : int;
+  r_evictions : int;  (** lines the shadow would have evicted *)
+  r_regrets : int;  (** ... that were then accessed within the window *)
+  r_clean_copied_bytes : int;  (** est. bytes the shadow cleaner copies *)
+  r_clean_actual_bytes : int;  (** bytes the real cleaner chose to copy *)
+}
+
+type t
+
+val create : spec list -> t
+
+val attach : t -> unit
+(** Register sinks on the installed {!Decision} log. Call after
+    {!Decision.install}; decisions emitted before attach are unseen. *)
+
+val reports : t -> report list

@@ -18,14 +18,22 @@ val disk_resident : Highlight.State.t -> int -> bool
 (** True when the file still has disk-resident blocks (worth migrating). *)
 
 val run_once :
-  Highlight.State.t -> policy:policy_fn -> low_water:int -> high_water:int -> int
+  ?policy_id:string ->
+  Highlight.State.t ->
+  policy:policy_fn ->
+  low_water:int ->
+  high_water:int ->
+  int
 (** One wake-up: if clean segments < [low_water], migrate and clean
     until [high_water] clean segments (or no candidates remain).
-    Returns the number of files migrated. *)
+    Returns the number of files migrated. [policy_id] (default
+    ["custom"]) labels the [Automigrate] decision record emitted for
+    the acted-on file set when the observatory is installed. *)
 
 val spawn :
   Highlight.State.t ->
   ?period:float ->
+  ?policy_id:string ->
   policy:policy_fn ->
   low_water:int ->
   high_water:int ->

@@ -71,4 +71,26 @@ let select fs r ~root ~target_bytes =
         if bytes >= target_bytes then List.rev acc
         else take (u :: acc) (bytes + u.total_bytes) rest
   in
-  take [] 0 ranked
+  let picked = take [] 0 ranked in
+  if Obs.Decision.enabled () then begin
+    let now = Fs.now fs in
+    let cand u =
+      Obs.Decision.candidate
+        (match u.inums with i :: _ -> i | [] -> -1)
+        ~label:u.root_path ~members:u.inums ~score:(score r u)
+        ~feats:
+          {
+            Obs.Decision.idle = u.min_idle;
+            size = u.total_bytes;
+            util = 0.0;
+            temp = 0.0;
+            age = Float.max 0.0 (now -. u.newest_mtime);
+          }
+    in
+    let chosen, rejected = List.partition (fun u -> List.memq u picked) ranked in
+    Obs.Decision.emit ~now ~site:Obs.Decision.Namespace_rank
+      ~policy:(Printf.sprintf "namespace:%g,%g" r.time_exp r.size_exp)
+      ~budget:target_bytes ~chosen:(List.map cand chosen)
+      ~rejected:(List.map cand rejected) ()
+  end;
+  picked

@@ -20,7 +20,13 @@ let rank fs t =
             if idle >= t.min_idle && ino.Inode.size > 0 then
               out := (inum, score t ~now ~atime:entry.Imap.atime ~size:ino.Inode.size) :: !out
       end);
-  List.sort (fun (_, a) (_, b) -> compare b a) !out
+  (* ties broken by inum so the ranking is deterministic across runs *)
+  List.sort
+    (fun (ia, a) (ib, b) ->
+      match Float.compare b a with 0 -> Int.compare ia ib | c -> c)
+    !out
+
+let policy_id t = Printf.sprintf "stp:%g,%g" t.time_exp t.size_exp
 
 let select ?(eligible = fun _ -> true) fs t ~target_bytes =
   let ranked = List.filter (fun (inum, _) -> eligible inum) (rank fs t) in
@@ -32,4 +38,27 @@ let select ?(eligible = fun _ -> true) fs t ~target_bytes =
           let size = try (Fs.get_inode fs inum).Inode.size with Not_found -> 0 in
           take (inum :: acc) (bytes + size) rest
   in
-  take [] 0 ranked
+  let picked = take [] 0 ranked in
+  if Obs.Decision.enabled () then begin
+    let now = Fs.now fs in
+    let cand (inum, sc) =
+      let atime = (Imap.get (Fs.imap fs) inum).Imap.atime in
+      let size = try (Fs.get_inode fs inum).Inode.size with Not_found -> 0 in
+      Obs.Decision.candidate inum ~score:sc
+        ~feats:
+          {
+            Obs.Decision.idle = Float.max 0.0 (now -. atime);
+            size;
+            util = 0.0;
+            temp = Obs.Decision.file_temp ~now inum;
+            age = 0.0;
+          }
+    in
+    let chosen, rejected =
+      List.partition (fun (inum, _) -> List.mem inum picked) ranked
+    in
+    Obs.Decision.emit ~now ~site:Obs.Decision.Stp_rank ~policy:(policy_id t)
+      ~budget:target_bytes ~chosen:(List.map cand chosen)
+      ~rejected:(List.map cand rejected) ()
+  end;
+  picked

@@ -17,8 +17,15 @@ val score : t -> now:float -> atime:float -> size:int -> float
 
 val rank : Lfs.Fs.t -> t -> (int * float) list
 (** All migratable files (reserved inums excluded), best candidate
-    first, with scores. *)
+    first, with scores. Equal scores tie-break on inum (ascending), so
+    the ranking is deterministic. *)
+
+val policy_id : t -> string
+(** The decision-record policy id, ["stp:TE,SE"] — also the shadow-spec
+    syntax {!Obs.Shadow.parse} accepts. *)
 
 val select : ?eligible:(int -> bool) -> Lfs.Fs.t -> t -> target_bytes:int -> int list
 (** Greedy prefix of {!rank} whose cumulative size reaches the target.
-    [eligible] filters candidates first (e.g. "still disk-resident"). *)
+    [eligible] filters candidates first (e.g. "still disk-resident").
+    When the decision observatory is installed, emits an [Stp_rank]
+    record carrying every ranked candidate's features. *)

@@ -59,6 +59,64 @@ let test_stp_ranking_and_select () =
   let sel1 = Stp.select fs { Stp.default with Stp.min_idle = 0.0 } ~target_bytes:1 in
   check Alcotest.int "one file suffices" 1 (List.length sel1)
 
+(* Edge cases of the score function: empty files, clock skew (future
+   atime), degenerate exponents. *)
+let test_stp_score_edges () =
+  let p = Stp.default in
+  (* zero-size files clamp to size 1, not 0: idle time still ranks them *)
+  check (Alcotest.float 1e-9) "zero size = size 1" (Stp.score p ~now:100.0 ~atime:0.0 ~size:1)
+    (Stp.score p ~now:100.0 ~atime:0.0 ~size:0);
+  check Alcotest.bool "zero size still positive" true
+    (Stp.score p ~now:100.0 ~atime:0.0 ~size:0 > 0.0);
+  (* an atime in the future (clock skew) clamps idle to 0, never NaN *)
+  let future = Stp.score p ~now:100.0 ~atime:200.0 ~size:4096 in
+  check (Alcotest.float 0.0) "future atime scores 0" 0.0 future;
+  check Alcotest.bool "future atime not NaN" false (Float.is_nan future);
+  (* exponent 0 switches that dimension off entirely *)
+  let size_only = { p with Stp.time_exp = 0.0 } in
+  check (Alcotest.float 1e-9) "time_exp 0: idle irrelevant"
+    (Stp.score size_only ~now:100.0 ~atime:0.0 ~size:4096)
+    (Stp.score size_only ~now:100.0 ~atime:99.0 ~size:4096);
+  let time_only = { p with Stp.size_exp = 0.0 } in
+  check (Alcotest.float 1e-9) "size_exp 0: size irrelevant"
+    (Stp.score time_only ~now:100.0 ~atime:0.0 ~size:4096)
+    (Stp.score time_only ~now:100.0 ~atime:0.0 ~size:400000)
+
+let test_stp_min_idle_boundary () =
+  let fs, engine = fresh_fs () in
+  let f = Dir.create_file fs "/f" in
+  File.write fs f ~off:0 (bytes_pattern 4096 1);
+  Sim.Engine.run_until engine 1000.0;
+  let atime = (Imap.get (Fs.imap fs) f.Inode.inum).Imap.atime in
+  let idle = Fs.now fs -. atime in
+  (* exactly at the threshold: idle >= min_idle admits the file *)
+  let at = Stp.rank fs { Stp.default with Stp.min_idle = idle } in
+  check Alcotest.bool "idle = min_idle included" true
+    (List.mem_assoc f.Inode.inum at);
+  (* just above: excluded *)
+  let above = Stp.rank fs { Stp.default with Stp.min_idle = idle +. 0.001 } in
+  check Alcotest.bool "idle < min_idle excluded" false
+    (List.mem_assoc f.Inode.inum above)
+
+let test_stp_rank_tie_determinism () =
+  (* identical sizes and atimes score identically: ties must come out in
+     inum order, and repeated rankings must agree exactly *)
+  let fs, engine = fresh_fs () in
+  let mk path = File.write fs (Dir.create_file fs path) ~off:0 (bytes_pattern 8192 3) in
+  List.iter mk [ "/t0"; "/t1"; "/t2"; "/t3" ];
+  (* equalise atimes: set them all to the same instant *)
+  let inums = List.map (fun p -> (Dir.namei fs p).Inode.inum) [ "/t0"; "/t1"; "/t2"; "/t3" ] in
+  List.iter (fun i -> Imap.set_atime (Fs.imap fs) i 0.0) inums;
+  Sim.Engine.run_until engine 500.0;
+  let p = { Stp.default with Stp.min_idle = 0.0 } in
+  let r1 = Stp.rank fs p in
+  let r2 = Stp.rank fs p in
+  check (Alcotest.list (Alcotest.pair Alcotest.int (Alcotest.float 0.0)))
+    "repeat ranking identical" r1 r2;
+  let tied = List.filter (fun (i, _) -> List.mem i inums) r1 in
+  check (Alcotest.list Alcotest.int) "ties in inum order" (List.sort compare inums)
+    (List.map fst tied)
+
 (* --- Namespace --- *)
 
 let test_namespace_units () =
@@ -419,6 +477,9 @@ let suite =
       [
         Alcotest.test_case "score monotone" `Quick test_stp_score_monotone;
         Alcotest.test_case "ranking and selection" `Quick test_stp_ranking_and_select;
+        Alcotest.test_case "score edge cases" `Quick test_stp_score_edges;
+        Alcotest.test_case "min_idle boundary" `Quick test_stp_min_idle_boundary;
+        Alcotest.test_case "rank tie determinism" `Quick test_stp_rank_tie_determinism;
       ] );
     ( "policy.namespace",
       [
