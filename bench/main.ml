@@ -22,6 +22,7 @@ let targets : (string * string * (unit -> unit)) list =
     ("fig5", "layered architecture with live counters", Figs.run_fig5);
     ("pipeline", "serial vs pipelined service/I-O with 2 drives + prefetch", Pipeline.run);
     ("streaming", "first-block wakeup vs blocking fetch + adaptive readahead", Streaming.run);
+    ("writeout", "streaming vs blocking segment copy-out + idle readahead", Writeout.run);
     ("faulty", "pipeline scenario under media errors + a dead drive", Faulty.run);
     ("ablate-policy", "STP exponents x cache eviction over a Zipf trace", Ablations.run_policy);
     ("ablate-staging", "immediate vs delayed copy-out (paper 5.4)", Ablations.run_staging);

@@ -289,8 +289,8 @@ let print_observatory shadows =
         shadows
 
 let simulate nsegs nvolumes seg_blocks media files file_kb policy verbose trace_file
-    metrics_file faults readahead profile snapshots_file snapshot_period gc_stats
-    decisions_file shadow_spec decision_window =
+    metrics_file faults readahead idle_readahead profile snapshots_file snapshot_period
+    gc_stats decisions_file shadow_spec decision_window =
   (* the profile and snapshot files are written after [in_sim] returns:
      shutdown only drains the queues — in-flight transfers finish on
      their own sim time, and their ledgers close after the main process
@@ -333,6 +333,7 @@ let simulate nsegs nvolumes seg_blocks media files file_kb policy verbose trace_
                  ~period:snapshot_period ()))
         snapshots_file;
       let ra = apply_readahead hl readahead in
+      Highlight.Hl.set_idle_readahead hl idle_readahead;
       (* armed after mkfs: the plan targets the scenario, not the format,
          and the instance registry now exists for the fault counters *)
       Option.iter
@@ -416,6 +417,10 @@ let simulate nsegs nvolumes seg_blocks media files file_kb policy verbose trace_
             (Highlight.Readahead.depth ra) (Highlight.Readahead.used ra)
             (Highlight.Readahead.wasted ra) (Highlight.Readahead.accuracy ra))
         ra;
+      if idle_readahead then
+        Printf.printf "idle readahead: issued %d   preempted %d   wasted %d\n"
+          s.Highlight.Hl.idle_prefetches_issued s.Highlight.Hl.idle_prefetches_preempted
+          s.Highlight.Hl.idle_prefetches_wasted;
       Option.iter
         (fun plan ->
           Printf.printf "faults injected: %d   io retries: %d   io failures: %d\n"
@@ -634,6 +639,15 @@ let readahead_t =
                  or 'adaptive' (accuracy-driven depth that grows on sequential streaks \
                  and shrinks on wasted prefetches).")
 
+let idle_readahead_t =
+  Arg.(value & opt (enum [ ("on", true); ("off", false) ]) false
+       & info [ "idle-readahead" ] ~docv:"on|off"
+           ~doc:"Cost-aware idle readahead (default off): when a jukebox drive runs \
+                 out of work, speculatively stage the warmest uncached segment of a \
+                 volume already in a drive; queued idle fetches are cancelled the \
+                 moment demand or write-out work arrives, so the gamble never lands \
+                 on the critical path.")
+
 (* --log enables the library's Logs source on stderr *)
 let setup_logs level =
   (match level with
@@ -663,13 +677,13 @@ let () =
               Term.(const (fun lvl a b c -> setup_logs lvl; layout a b c)
                     $ log_t $ nsegs_t $ nvols_t $ segblocks_t);
             Cmd.v (Cmd.info "simulate" ~doc:"Run a write/migrate/fetch scenario")
-              Term.(const (fun lvl a b c d e f g h i j k l m n o p q r s ->
+              Term.(const (fun lvl a b c d e f g h i j k l m n o p q r s t ->
                         setup_logs lvl;
-                        simulate a b c d e f g h i j k l m n o p q r s)
+                        simulate a b c d e f g h i j k l m n o p q r s t)
                     $ log_t $ nsegs_t $ nvols_t $ segblocks_t $ media_t $ files_t $ filekb_t
                     $ policy_t $ verbose_t $ trace_t $ metrics_t $ faults_t $ readahead_t
-                    $ profile_t $ snapshots_t $ snapshot_period_t $ gcstats_t
-                    $ decisions_t $ shadow_t $ decision_window_t);
+                    $ idle_readahead_t $ profile_t $ snapshots_t $ snapshot_period_t
+                    $ gcstats_t $ decisions_t $ shadow_t $ decision_window_t);
             Cmd.v (Cmd.info "grow" ~doc:"Demonstrate on-line disk addition (dead-zone claiming)")
               Term.(const (fun lvl a b c d -> setup_logs lvl; grow a b c d)
                     $ log_t $ nsegs_t $ nvols_t $ segblocks_t

@@ -36,8 +36,14 @@ let raw_write_cache_line st ~disk_seg data =
 let note_prefetch_used st line =
   if line.Seg_cache.prefetched then begin
     line.Seg_cache.prefetched <- false;
-    Sim.Metrics.incr (Sim.Metrics.counter st.metrics "prefetch.used");
-    st.on_prefetch_used line.Seg_cache.tindex
+    if line.Seg_cache.idle_hint then
+      (* idle-daemon speculation pays off quietly: scored under idle.*,
+         never fed to the adaptive readahead policy *)
+      Sim.Metrics.incr (Sim.Metrics.counter st.metrics "idle.used")
+    else begin
+      Sim.Metrics.incr (Sim.Metrics.counter st.metrics "prefetch.used");
+      st.on_prefetch_used line.Seg_cache.tindex
+    end
   end
 
 (* Park on a Fetching line until it can serve blocks [off, off+count):
@@ -57,10 +63,14 @@ let rec await_extent st line ~off ~count =
     | _ -> None
   in
   match covered with
-  | Some image when line.Seg_cache.state = Seg_cache.Fetching ->
+  | Some image ->
+      (* a covered extent is served whatever the line's state: Fetching
+         mid-stream, Resident (image still attached), or the Partial
+         remnant of a failed fetch — the bytes below the watermark are
+         real in every case *)
       let bs = st.disk.Lfs.Dev.block_size in
       Some (Bytes.sub image (off * bs) (count * bs))
-  | _ -> (
+  | None -> (
       match line.Seg_cache.failed with
       | Some msg -> raise (Io_error msg)
       | None ->
@@ -95,7 +105,65 @@ let rec tertiary_read st ~blk ~count =
   let off = Addr_space.offset_in_seg st.aspace blk in
   if off + count > seg_blocks st then
     invalid_arg "Block_io: tertiary read crosses a segment boundary";
+  (* every tertiary access warms the segment — the idle-readahead
+     daemon's signal for what is worth speculating on *)
+  Obs.Heat.touch st.heat ~now:(Sim.Engine.now st.engine) tindex;
   match Seg_cache.find st.cache tindex with
+  | Some line when line.Seg_cache.state = Seg_cache.Partial ->
+      if off + count <= line.Seg_cache.valid_blocks then begin
+        (* the failed fetch's delivered prefix covers this extent: a hit
+           served from memory, no tertiary traffic *)
+        Seg_cache.note_hit st.cache;
+        Sim.Metrics.incr (Sim.Metrics.counter st.metrics "cache.hits");
+        Sim.Metrics.incr (Sim.Metrics.counter st.metrics "cache.partial_serves");
+        note_prefetch_used st line;
+        if Obs.Decision.enabled () then
+          Obs.Decision.note_segment_access ~now:(Sim.Engine.now st.engine) ~miss:false tindex;
+        Seg_cache.touch st.cache line ~now:(Sim.Engine.now st.engine);
+        match line.Seg_cache.image with
+        | Some image ->
+            let bs = st.disk.Lfs.Dev.block_size in
+            Bytes.sub image (off * bs) (count * bs)
+        | None ->
+            (* a Partial line keeps its image for life; losing it means
+               the prefix is gone for good — re-fetch from scratch *)
+            Seg_cache.remove st.cache line;
+            tertiary_read st ~blk ~count
+      end
+      else begin
+        (* past the watermark: flip the line back to Fetching and
+           re-fetch only the missing tail — [Service.fetch_read] resumes
+           the stream at [valid_blocks], and the landing write persists
+           prefix + suffix together *)
+        Seg_cache.note_miss st.cache;
+        Sim.Metrics.incr (Sim.Metrics.counter st.metrics "cache.misses");
+        Sim.Metrics.incr (Sim.Metrics.counter st.metrics "cache.tail_refetches");
+        Sim.Metrics.incr
+          ~by:(seg_blocks st - line.Seg_cache.valid_blocks)
+          (Sim.Metrics.counter st.metrics "cache.tail_refetch_blocks");
+        if Obs.Decision.enabled () then
+          Obs.Decision.note_segment_access ~now:(Sim.Engine.now st.engine) ~miss:true tindex;
+        st.demand_fetches <- st.demand_fetches + 1;
+        st.on_fetch_start tindex;
+        line.Seg_cache.failed <- None;
+        line.Seg_cache.state <- Seg_cache.Fetching;
+        line.Seg_cache.span_id <-
+          Sim.Trace.async_begin ~track:"service" ~cat:"lifecycle" "tail-refetch"
+            ~args:
+              [
+                ("tindex", string_of_int tindex);
+                ("from_block", string_of_int line.Seg_cache.valid_blocks);
+              ];
+        line.Seg_cache.ledger <- Sim.Ledger.open_request ~kind:"demand_fetch";
+        State.submit st
+          (Fetch { line; enqueued = Sim.Engine.now st.engine; is_prefetch = false });
+        match
+          timed_wait st "service.first_block_latency_s" (fun () ->
+              await_extent st line ~off ~count)
+        with
+        | Some data -> data
+        | None -> tertiary_read st ~blk ~count
+      end
   | Some line when line.Seg_cache.state = Seg_cache.Fetching -> (
       (* somebody else's fetch is in flight: ride along (a hint line
          demanded while still in flight is an accurate prefetch) *)

@@ -196,6 +196,8 @@ let set_prefetch_adaptive t ?min_depth ?max_depth () =
 let set_prefetch_hints t f = t.st.State.prefetch <- f
 
 let set_streaming_fetch t flag = t.st.State.streaming_fetch <- flag
+let set_streaming_writeout t flag = t.st.State.streaming_writeout <- flag
+let set_idle_readahead t flag = t.st.State.idle_readahead <- flag
 
 let eject_tertiary_copies t ~paths =
   let fsys = t.fsys in
@@ -267,6 +269,12 @@ type stats = {
   io_disk_time : float;
   io_tertiary_time : float;
   io_overlap : float;
+  writeout_overlap : float;
+  partial_line_serves : int;
+  tail_refetch_bytes : int;
+  idle_prefetches_issued : int;
+  idle_prefetches_preempted : int;
+  idle_prefetches_wasted : int;
   prefetches_dropped : int;
   prefetches_used : int;
   prefetches_wasted : int;
@@ -337,6 +345,18 @@ let stats t =
          1.0 = strictly serial, 2.0 = both devices always concurrent *)
       (let busy = st.State.io_disk_time +. st.State.io_tertiary_time in
        if st.State.io_union_time > 0.0 then busy /. st.State.io_union_time else 1.0);
+    writeout_overlap =
+      (* same busy/union ratio, restricted to write-out phases: 1.0 when
+         a write-out's staging read and tertiary write serialize, toward
+         2.0 when the streaming pipeline runs them concurrently *)
+      (let busy = st.State.wo_disk_time +. st.State.wo_tertiary_time in
+       if st.State.wo_union_time > 0.0 then busy /. st.State.wo_union_time else 1.0);
+    partial_line_serves = count "cache.partial_serves";
+    tail_refetch_bytes =
+      count "cache.tail_refetch_blocks" * Footprint.block_size st.State.fp;
+    idle_prefetches_issued = count "idle.issued";
+    idle_prefetches_preempted = count "idle.preempted";
+    idle_prefetches_wasted = count "idle.evicted_unused";
     prefetches_dropped = st.State.prefetches_dropped;
     prefetches_used = pf_used;
     prefetches_wasted = pf_wasted;
@@ -380,6 +400,10 @@ let reset_stats t =
   st.State.io_tertiary_time <- 0.0;
   st.State.io_union_time <- 0.0;
   st.State.io_busy_since <- Sim.Engine.now st.State.engine;
+  st.State.wo_disk_time <- 0.0;
+  st.State.wo_tertiary_time <- 0.0;
+  st.State.wo_union_time <- 0.0;
+  st.State.wo_busy_since <- Sim.Engine.now st.State.engine;
   st.State.prefetches_dropped <- 0;
   st.State.blocks_migrated <- 0;
   st.State.bytes_migrated <- 0;

@@ -101,6 +101,20 @@ val set_streaming_fetch : t -> bool -> unit
     [false] restores the blocking behaviour, where waiters sleep until
     the whole segment has landed on the cache disk. *)
 
+val set_streaming_writeout : t -> bool -> unit
+(** Default [true]: in pipelined mode a write-out's staging-disk read
+    and its tertiary write overlap within the segment behind a
+    written-prefix watermark ("Streaming write-out" in DESIGN.md); WORM
+    volumes always take the blocking path regardless. [false] restores
+    the read-whole-image-then-write behaviour. *)
+
+val set_idle_readahead : t -> bool -> unit
+(** Default [false]: when enabled, a tertiary worker running out of
+    work triggers a cost-aware speculative fetch of the warmest uncached
+    segment on a currently-loaded volume (never causes a robot swap);
+    queued idle prefetches are cancelled the moment demand or write-out
+    work arrives. *)
+
 val eject_tertiary_copies : t -> paths:string list -> unit
 (** Drops the cached copies of the tertiary segments holding these
     files' blocks (benchmark support: force future reads to fetch). *)
@@ -137,6 +151,28 @@ type stats = {
       (** (tertiary + disk busy time) / wall time either was busy:
           1.0 = strictly serial phases, up to 2.0 when both devices run
           concurrently — the Table 4 "overlapped" figure. *)
+  writeout_overlap : float;
+      (** The same ratio restricted to write-out phases: 1.0 when each
+          write-out's staging-disk read and tertiary write serialize
+          (blocking pipeline), approaching 2.0 when the streaming
+          pipeline runs them concurrently within the segment. *)
+  partial_line_serves : int;
+      (** Reads served from the delivered prefix of a Partial cache
+          line — a failed streaming fetch whose data was kept
+          (["cache.partial_serves"]). *)
+  tail_refetch_bytes : int;
+      (** Bytes re-fetched by tail-only re-fetches of Partial lines
+          (["cache.tail_refetch_blocks"] × block size) — the traffic
+          the partial-line cache did NOT have to repeat. *)
+  idle_prefetches_issued : int;
+      (** Speculative fetches issued by the idle-readahead daemon
+          (["idle.issued"]). *)
+  idle_prefetches_preempted : int;
+      (** Idle prefetches cancelled while still queued because demand
+          or write-out work arrived (["idle.preempted"]). *)
+  idle_prefetches_wasted : int;
+      (** Idle-prefetched lines evicted or failed without ever being
+          demanded (["idle.evicted_unused"]). *)
   prefetches_dropped : int;
       (** Prefetches cancelled because no cache line was available. *)
   prefetches_used : int;

@@ -42,7 +42,8 @@ let render_layout t =
            | Seg_cache.Fetching -> "fetching"
            | Seg_cache.Resident -> "resident"
            | Seg_cache.Staging -> "staging"
-           | Seg_cache.Staged_clean -> "staged/clean")
+           | Seg_cache.Staged_clean -> "staged/clean"
+           | Seg_cache.Partial -> "partial")
            (if line.Seg_cache.pins > 0 then Printf.sprintf " pins=%d" line.Seg_cache.pins
             else "")));
   Buffer.add_string buf "log contents (tertiary, in tsegfile):\n  ";

@@ -240,7 +240,9 @@ let migrate_blocks_inner ?(allow_tertiary = false) ?(defer = false) st ~wait ~ch
     if of_level <> [] then begin
       let candidates = List.filter_map (resolve_candidate ~allow_tertiary st) of_level in
       if candidates <> [] then
-        staged := !staged @ stage_batch ~defer st ~inode_set:[] candidates;
+        (* reversed accumulation: appending each batch to the tail is
+           quadratic in the number of staged segments *)
+        staged := List.rev_append (stage_batch ~defer st ~inode_set:[] candidates) !staged;
       (* children now point into tertiary space; flush so the parents'
          on-disk copies carry the new addresses before they migrate *)
       Fs.flush fsys
@@ -248,9 +250,9 @@ let migrate_blocks_inner ?(allow_tertiary = false) ?(defer = false) st ~wait ~ch
   done;
   if inode_set <> [] then begin
     Fs.flush fsys;
-    staged := !staged @ stage_batch ~defer st ~inode_set []
+    staged := List.rev_append (stage_batch ~defer st ~inode_set []) !staged
   end;
-  let staged = !staged in
+  let staged = List.rev !staged in
   if wait then
     List.iter
       (fun (_, ticket) -> Option.iter (fun tk -> ignore (Service.await tk)) ticket)

@@ -1,4 +1,4 @@
-type state = Fetching | Resident | Staging | Staged_clean
+type state = Fetching | Resident | Staging | Staged_clean | Partial
 
 type line = {
   mutable tindex : int;
@@ -20,6 +20,10 @@ type line = {
       (* inserted by a readahead hint and not yet demanded — flips off
          on first demand use; an eviction while still set counts as a
          wasted prefetch *)
+  mutable idle_hint : bool;
+      (* inserted by the idle-readahead daemon rather than the demand
+         readahead policy: preemption and waste are counted separately
+         and never feed the adaptive readahead's accuracy loop *)
   ready : Sim.Condvar.t;
   mutable span_id : int;
       (* async-span id of the in-flight fetch/write-out lifecycle
@@ -110,6 +114,7 @@ let insert t ~tindex ~disk_seg ~state ~now =
       image = None;
       valid_blocks = 0;
       prefetched = false;
+      idle_hint = false;
       ready = Sim.Condvar.create ();
       span_id = -1;
       ledger = Sim.Ledger.none;
@@ -135,7 +140,8 @@ let unpin t line =
   if line.pins = 0 then t.on_free ()
 
 let evictable line =
-  line.pins = 0 && (line.state = Resident || line.state = Staged_clean)
+  line.pins = 0
+  && (line.state = Resident || line.state = Staged_clean || line.state = Partial)
 
 (* A heap entry speaks for a line only while its snapshot is current:
    the line is still in the directory under the same identity and

@@ -15,6 +15,12 @@ type state =
   | Resident  (** read-only copy, identical to tertiary *)
   | Staging  (** being assembled; the only copy — not evictable *)
   | Staged_clean  (** assembled and copied out; evictable *)
+  | Partial
+      (** the delivered valid-prefix of a failed/cancelled streaming
+          fetch, kept servable in memory ([image] up to [valid_blocks];
+          the disk segment is released, [disk_seg] = -1). Reads inside
+          the prefix are hits; a read past it triggers a tail-only
+          re-fetch that flips the line back to Fetching. Evictable. *)
 
 type line = {
   mutable tindex : int;
@@ -39,6 +45,10 @@ type line = {
       (** inserted by a readahead hint and not yet demanded; cleared on
           first demand use. Eviction/cancellation while set counts
           against prefetch accuracy. *)
+  mutable idle_hint : bool;
+      (** set on prefetches issued by the idle-readahead daemon: their
+          preemption/waste is counted under [idle.*] and never feeds
+          the adaptive readahead's accuracy loop *)
   ready : Sim.Condvar.t;
       (** broadcast when Fetching completes — and, for streaming
           fetches, every time [valid_blocks] advances *)
@@ -50,11 +60,14 @@ type line = {
           across the dispatcher and worker processes like [span_id];
           {!Sim.Ledger.none} when no request is in flight *)
   mutable failed : string option;
-      (** reason the in-flight fetch failed permanently (the line is
-          removed from the directory at the same moment, so a later
-          access re-fetches from scratch — a failure never poisons the
-          cache); waiters on [ready] check this and raise
-          [State.Io_error] *)
+      (** reason the in-flight fetch failed permanently. When nothing
+          was delivered the line leaves the directory at the same
+          moment (a failure never poisons the cache); when a streaming
+          fetch had delivered a valid prefix the line stays as
+          [Partial] with [failed] kept, so parked waiters beyond the
+          watermark raise [State.Io_error] while later readers are
+          served from the prefix. Cleared when a tail re-fetch
+          restarts the line. *)
 }
 
 type policy = Lru | Random_evict | Least_worthy
@@ -95,11 +108,12 @@ val set_on_free : t -> (unit -> unit) -> unit
     service layer routes this to {!State.t.cache_progress}. *)
 
 val evictable : line -> bool
-(** Unpinned and Resident / Staged_clean — a legal eviction victim. *)
+(** Unpinned and Resident / Staged_clean / Partial — a legal eviction
+    victim. *)
 
 val choose_victim : t -> line option
-(** An unpinned, evictable (Resident / Staged_clean) line according to
-    the policy, or [None]. The line is not removed. *)
+(** An unpinned, evictable line according to the policy, or [None].
+    The line is not removed. *)
 
 val remove : t -> line -> unit
 val iter : t -> (line -> unit) -> unit

@@ -5,15 +5,21 @@ let now st = Sim.Engine.now st.engine
 let eject st line =
   if line.Seg_cache.pins > 0 then invalid_arg "Service.eject: line pinned";
   (match line.Seg_cache.state with
-  | Seg_cache.Resident | Seg_cache.Staged_clean -> ()
+  | Seg_cache.Resident | Seg_cache.Staged_clean | Seg_cache.Partial -> ()
   | Seg_cache.Fetching | Seg_cache.Staging ->
       invalid_arg "Service.eject: line not evictable");
   Hl_log.Log.debug (fun m ->
       m "eject cache line: tseg %d (disk seg %d)" line.Seg_cache.tindex line.Seg_cache.disk_seg);
   if line.Seg_cache.prefetched then begin
-    (* the hint never paid off: the readahead policy hears about it *)
-    Sim.Metrics.incr (Sim.Metrics.counter st.metrics "prefetch.evicted_unused");
-    st.on_prefetch_wasted line.Seg_cache.tindex
+    if line.Seg_cache.idle_hint then
+      (* idle-daemon speculation is scored on its own: it must never
+         drag down the adaptive readahead's accuracy *)
+      Sim.Metrics.incr (Sim.Metrics.counter st.metrics "idle.evicted_unused")
+    else begin
+      (* the hint never paid off: the readahead policy hears about it *)
+      Sim.Metrics.incr (Sim.Metrics.counter st.metrics "prefetch.evicted_unused");
+      st.on_prefetch_wasted line.Seg_cache.tindex
+    end
   end;
   Seg_cache.remove st.cache line;
   Seg_cache.note_eviction st.cache;
@@ -153,6 +159,24 @@ let phase_end st phase t0 =
   if st.io_active = 0 then
     st.io_union_time <- st.io_union_time +. (now st -. st.io_busy_since)
 
+(* The write-out twin of the busy/union accounting above, tracking only
+   the two phases of write-outs: with the blocking pipeline the staging
+   read and the tertiary write of one segment serialize, so
+   (disk + tertiary) / union sits at 1.0; the streaming pipeline runs
+   them concurrently and pushes the ratio toward 2.0. *)
+let wo_phase_begin st =
+  if st.wo_active = 0 then st.wo_busy_since <- now st;
+  st.wo_active <- st.wo_active + 1
+
+let wo_phase_end st phase t0 =
+  let dt = now st -. t0 in
+  (match phase with
+  | `Tertiary -> st.wo_tertiary_time <- st.wo_tertiary_time +. dt
+  | `Disk -> st.wo_disk_time <- st.wo_disk_time +. dt);
+  st.wo_active <- st.wo_active - 1;
+  if st.wo_active = 0 then
+    st.wo_union_time <- st.wo_union_time +. (now st -. st.wo_busy_since)
+
 (* End-of-medium: the staged segment must move to another volume, which
    changes every block's tertiary address; re-aim the live pointers and
    re-key the cache line (paper §6.3's "the last segment is re-written
@@ -230,10 +254,27 @@ let pick_source st tindex =
 
 type fetch_ctx = { f_line : Seg_cache.line; f_urgent : bool; f_enqueued : float }
 
+(* Shared state of one streaming write-out: the cache-disk worker fills
+   [ws_buf] front to back, advancing the [ws_read] watermark and
+   broadcasting [ws_avail]; the tertiary worker's per-chunk [await]
+   blocks until the watermark covers the chunk it is about to put on the
+   media. A permanent disk-side failure parks in [ws_failed] — the
+   tertiary side surfaces it at its next await, so the write-out fails
+   exactly once, from the worker that owns its ledger. *)
+type wo_stream = {
+  ws_buf : Bytes.t;
+  mutable ws_read : int;  (** blocks of [ws_buf] holding real data *)
+  ws_avail : Sim.Condvar.t;
+  mutable ws_failed : string option;
+}
+
 type wo_ctx = {
   w_line : Seg_cache.line;
   w_status : writeout_status ref;
   w_done : Sim.Condvar.t;
+  w_stream : wo_stream option;
+      (** [Some] when the staging-disk read and the tertiary write of
+          this write-out run concurrently (streaming mode) *)
 }
 
 (* ---------- fault handling ---------- *)
@@ -274,15 +315,18 @@ let with_retries st ~what f =
   go 1 st.retry.backoff_base
 
 (* A fetch that exhausted its retries. The line must not poison the
-   cache: publish the reason, give the disk segment back, drop the line
-   from the directory (a later access re-fetches from scratch) and wake
-   the waiters — they see [failed] and surface {!State.Io_error}.
+   cache: publish the reason and wake the waiters — they see [failed]
+   and surface {!State.Io_error}.
 
    A streaming fetch may already have delivered a valid prefix into the
-   line's image before the fault struck; [remove] detaches the image, so
-   re-attach it to the (now directory-less) line: waiters needing a
-   block below the watermark are served data that really did arrive,
-   and only the not-yet-valid suffix waiters surface the error. *)
+   line's image before the fault struck. That prefix is real data that
+   crossed the tertiary bus; instead of discarding it, keep the line in
+   the directory as [Partial]: the disk segment goes back to the clean
+   pool (the prefix lives in memory), waiters and later readers inside
+   the watermark are served from it, and a read past the watermark
+   triggers a tail-only re-fetch (see {!Block_io.tertiary_read}). With
+   nothing delivered the line leaves the directory as before — a later
+   access re-fetches from scratch. *)
 let fail_fetch st line msg =
   Hl_log.Log.info (fun m -> m "fetch of tseg %d failed: %s" line.Seg_cache.tindex msg);
   line.Seg_cache.failed <- Some msg;
@@ -291,30 +335,59 @@ let fail_fetch st line msg =
   line.Seg_cache.span_id <- -1;
   Sim.Ledger.close line.Seg_cache.ledger;
   line.Seg_cache.ledger <- Sim.Ledger.none;
-  if line.Seg_cache.prefetched then st.on_prefetch_wasted line.Seg_cache.tindex;
+  if line.Seg_cache.prefetched then
+    if line.Seg_cache.idle_hint then
+      Sim.Metrics.incr (Sim.Metrics.counter st.metrics "idle.evicted_unused")
+    else st.on_prefetch_wasted line.Seg_cache.tindex;
   if line.Seg_cache.disk_seg >= 0 then
     Lfs.Fs.release_segment (fs st) line.Seg_cache.disk_seg;
-  let prefix = line.Seg_cache.image in
-  Seg_cache.remove st.cache line;
-  if line.Seg_cache.valid_blocks > 0 then line.Seg_cache.image <- prefix;
+  if
+    line.Seg_cache.valid_blocks > 0
+    && line.Seg_cache.state = Seg_cache.Fetching
+    && not st.stop_service
+  then begin
+    line.Seg_cache.disk_seg <- -1;
+    line.Seg_cache.state <- Seg_cache.Partial;
+    Sim.Metrics.incr (Sim.Metrics.counter st.metrics "cache.partial_lines")
+  end
+  else begin
+    let prefix = line.Seg_cache.image in
+    Seg_cache.remove st.cache line;
+    (* [remove] detaches the image; re-attach it to the directory-less
+       line so parked waiters below the watermark still drain with the
+       data that really did arrive *)
+    if line.Seg_cache.valid_blocks > 0 then line.Seg_cache.image <- prefix
+  end;
   Sim.Condvar.broadcast line.Seg_cache.ready;
   note_progress st
 
 (* A write-out that exhausted its retries: the staged line keeps the
    only copy (Staging lines are never evictable), so nothing is lost —
-   the ticket reports [Failed] and the requester decides. *)
+   the ticket reports [Failed] and the requester decides. Idempotent: a
+   streaming write-out lives in two work queues at once, so the
+   shutdown drain can reach the same context twice. Always unsticks the
+   stream partner — a tertiary worker parked on [ws_avail] must see the
+   failure and exit its await. *)
 let fail_writeout st ctx msg =
-  Hl_log.Log.info (fun m ->
-      m "write-out of tseg %d failed: %s" ctx.w_line.Seg_cache.tindex msg);
-  Sim.Metrics.incr (Sim.Metrics.counter st.metrics "service.writeout_failures");
-  ctx.w_status := Failed msg;
-  Sim.Trace.async_end ~track:"service" ctx.w_line.Seg_cache.span_id
-    ~args:[ ("failed", msg) ];
-  ctx.w_line.Seg_cache.span_id <- -1;
-  Sim.Ledger.close ctx.w_line.Seg_cache.ledger;
-  ctx.w_line.Seg_cache.ledger <- Sim.Ledger.none;
-  note_progress st;
-  Sim.Condvar.broadcast ctx.w_done
+  (match ctx.w_stream with
+  | Some ws ->
+      if ws.ws_failed = None then ws.ws_failed <- Some msg;
+      Sim.Condvar.broadcast ws.ws_avail
+  | None -> ());
+  match !(ctx.w_status) with
+  | Failed _ -> ()
+  | _ ->
+      Hl_log.Log.info (fun m ->
+          m "write-out of tseg %d failed: %s" ctx.w_line.Seg_cache.tindex msg);
+      Sim.Metrics.incr (Sim.Metrics.counter st.metrics "service.writeout_failures");
+      ctx.w_status := Failed msg;
+      Sim.Trace.async_end ~track:"service" ctx.w_line.Seg_cache.span_id
+        ~args:[ ("failed", msg) ];
+      ctx.w_line.Seg_cache.span_id <- -1;
+      Sim.Ledger.close ctx.w_line.Seg_cache.ledger;
+      ctx.w_line.Seg_cache.ledger <- Sim.Ledger.none;
+      note_progress st;
+      Sim.Condvar.broadcast ctx.w_done
 
 (* Bracket one device phase with the Table 4 busy-time accounting, on
    the failure path too — the device was busy right up to the fault. *)
@@ -327,6 +400,25 @@ let phased st phase f =
       v
   | exception e ->
       phase_end st phase t0;
+      raise e
+
+(* Write-out phases feed both ledgers: the instance-wide Table 4
+   overlap and the write-out-specific busy/union pair behind the
+   [writeout_overlap] statistic. *)
+let phased_wo st phase f =
+  let t0 = now st in
+  phase_begin st;
+  wo_phase_begin st;
+  let fin () =
+    wo_phase_end st phase t0;
+    phase_end st phase t0
+  in
+  match f () with
+  | v ->
+      fin ();
+      v
+  | exception e ->
+      fin ();
       raise e
 
 (* Fetch phase A (tertiary worker): read the segment image from the
@@ -373,16 +465,22 @@ let fetch_read st ctx =
                 in
                 (* each chunk lands at its final offset in the image
                    before the callback runs — one store→image copy, no
-                   per-chunk buffers *)
-                Footprint.read_seg_stream_into st.fp ~vol ~seg ~chunk:st.stream_chunk_blocks
-                  ~dst:image ~dst_off:0
-                  (fun ~off ~blocks ->
-                    if off = 0 then Sim.Ledger.mark_first_block line.Seg_cache.ledger;
-                    if off <= line.Seg_cache.valid_blocks then begin
-                      line.Seg_cache.valid_blocks <-
-                        max line.Seg_cache.valid_blocks (off + blocks);
-                      Sim.Condvar.broadcast line.Seg_cache.ready
-                    end);
+                   per-chunk buffers. The stream starts at the line's
+                   watermark: zero for a fresh fetch, partway through
+                   for the tail re-fetch of a Partial line or a retry
+                   after a mid-stream fault — the already-delivered
+                   prefix is never re-read. *)
+                let start = line.Seg_cache.valid_blocks in
+                if start < seg_blocks st then
+                  Footprint.read_seg_stream_into st.fp ~vol ~seg
+                    ~chunk:st.stream_chunk_blocks ~off:start ~dst:image ~dst_off:0
+                    (fun ~off ~blocks ->
+                      Sim.Ledger.mark_first_block line.Seg_cache.ledger;
+                      if off <= line.Seg_cache.valid_blocks then begin
+                        line.Seg_cache.valid_blocks <-
+                          max line.Seg_cache.valid_blocks (off + blocks);
+                        Sim.Condvar.broadcast line.Seg_cache.ready
+                      end);
                 image
               end)))
 
@@ -449,7 +547,7 @@ let writeout_read st ctx =
   Sim.Trace.async_instant ctx.w_line.Seg_cache.span_id ~args:[ ("phase", "disk-read") ];
   Sim.Ledger.with_active ctx.w_line.Seg_cache.ledger @@ fun () ->
   with_retries st ~what:"writeout:disk-read" (fun () ->
-      phased st `Disk (fun () ->
+      phased_wo st `Disk (fun () ->
           Sim.Trace.span ~cat:"service" "writeout:disk-read"
             ~args:[ ("tindex", string_of_int ctx.w_line.Seg_cache.tindex) ]
             (fun () ->
@@ -458,13 +556,36 @@ let writeout_read st ctx =
 (* Write-out phase B (tertiary worker): copy to the jukebox, re-homing
    on end-of-medium. The image is address-free (pointers live in the fs
    maps), so a re-home can re-use the buffer without re-reading. *)
+(* Write-out completion, shared by the blocking and streaming tertiary
+   phases: publish the staged line as clean, settle the ticket, close
+   the books. *)
+let writeout_done st ctx =
+  let line = ctx.w_line in
+  line.Seg_cache.state <- Seg_cache.Staged_clean;
+  st.writeouts <- st.writeouts + 1;
+  (* the manifest existed for end-of-medium re-homing; the copy is
+     safe now *)
+  Hashtbl.remove st.manifests line.Seg_cache.tindex;
+  (match !(ctx.w_status) with Rehomed _ -> () | _ -> ctx.w_status := Done);
+  Sim.Trace.async_end ~track:"service" line.Seg_cache.span_id;
+  line.Seg_cache.span_id <- -1;
+  Sim.Ledger.close line.Seg_cache.ledger;
+  line.Seg_cache.ledger <- Sim.Ledger.none;
+  st.on_writeout line.Seg_cache.tindex;
+  note_progress st;
+  Sim.Condvar.broadcast ctx.w_done
+
 let rec writeout_write st ctx image =
   let line = ctx.w_line in
   let vol, seg = Addr_space.vol_seg_of_tindex st.aspace line.Seg_cache.tindex in
-  Sim.Ledger.with_active line.Seg_cache.ledger @@ fun () ->
+  (* everything from here to the last block on the media is the
+     write-out's tertiary phase: one category, comparable across the
+     blocking and streaming pipelines *)
+  Sim.Ledger.with_active ~redirect:Sim.Ledger.Tertiary_write line.Seg_cache.ledger
+  @@ fun () ->
   match
     with_retries st ~what:"writeout:tertiary-write" (fun () ->
-        phased st `Tertiary (fun () ->
+        phased_wo st `Tertiary (fun () ->
             Sim.Trace.span ~cat:"service" "writeout:tertiary-write"
               ~args:
                 [ ("tindex", string_of_int line.Seg_cache.tindex); ("vol", string_of_int vol) ]
@@ -472,19 +593,7 @@ let rec writeout_write st ctx image =
   with
   | Error _ as e -> e
   | Ok Footprint.Written ->
-      line.Seg_cache.state <- Seg_cache.Staged_clean;
-      st.writeouts <- st.writeouts + 1;
-      (* the manifest existed for end-of-medium re-homing; the copy is
-         safe now *)
-      Hashtbl.remove st.manifests line.Seg_cache.tindex;
-      (match !(ctx.w_status) with Rehomed _ -> () | _ -> ctx.w_status := Done);
-      Sim.Trace.async_end ~track:"service" line.Seg_cache.span_id;
-      line.Seg_cache.span_id <- -1;
-      Sim.Ledger.close line.Seg_cache.ledger;
-      line.Seg_cache.ledger <- Sim.Ledger.none;
-      st.on_writeout line.Seg_cache.tindex;
-      note_progress st;
-      Sim.Condvar.broadcast ctx.w_done;
+      writeout_done st ctx;
       Ok ()
   | Ok Footprint.End_of_medium ->
       Hl_log.Log.info (fun m ->
@@ -494,6 +603,104 @@ let rec writeout_write st ctx image =
         ~args:[ ("phase", "rehome"); ("new_tindex", string_of_int line.Seg_cache.tindex) ];
       ctx.w_status := Rehomed line.Seg_cache.tindex;
       writeout_write st ctx image
+
+(* ---------- the streaming write-out pipeline ---------- *)
+
+(* Local abort of a streaming tertiary write: the disk-side producer
+   failed permanently, so the awaited watermark will never advance. *)
+exception Stream_aborted of string
+
+(* Streaming write-out, disk side: fill the context's buffer front to
+   back in [stream_chunk_blocks] pieces, advancing the shared watermark
+   after each chunk so the tertiary worker can put it on the media while
+   the next chunk is still under the disk arm. Runs with no request
+   ledger active — the tertiary side owns the write-out's ledger end to
+   end, so this read charges nobody (its effect shows up as the stalls
+   it removes). A retry resumes from the watermark: the prefix already
+   handed over never regresses. *)
+let writeout_stream_read st ctx ws =
+  Sim.Trace.async_instant ctx.w_line.Seg_cache.span_id
+    ~args:[ ("phase", "disk-read-stream") ];
+  match
+    with_retries st ~what:"writeout:disk-read" (fun () ->
+        phased_wo st `Disk (fun () ->
+            Sim.Trace.span ~cat:"service" "writeout:disk-read"
+              ~args:[ ("tindex", string_of_int ctx.w_line.Seg_cache.tindex) ]
+              (fun () ->
+                let base = disk_seg_base st ctx.w_line.Seg_cache.disk_seg in
+                let bs = st.disk.Lfs.Dev.block_size in
+                let total = seg_blocks st in
+                let chunk = max 1 st.stream_chunk_blocks in
+                let off = ref ws.ws_read in
+                while !off < total && ws.ws_failed = None do
+                  let n = min chunk (total - !off) in
+                  st.disk.Lfs.Dev.read_into ~blk:(base + !off) ~count:n ~dst:ws.ws_buf
+                    ~dst_off:(!off * bs);
+                  off := !off + n;
+                  if !off > ws.ws_read then begin
+                    ws.ws_read <- !off;
+                    Sim.Condvar.broadcast ws.ws_avail
+                  end
+                done)))
+  with
+  | Ok () -> ()
+  | Error msg ->
+      (* don't settle the ticket from here: the tertiary worker owns the
+         write-out and surfaces the failure at its next await *)
+      if ws.ws_failed = None then ws.ws_failed <- Some msg;
+      Sim.Condvar.broadcast ws.ws_avail
+
+(* Streaming write-out, tertiary side: the jukebox write's per-chunk
+   [await] parks on the stream watermark, so the media transfer chases
+   the staging-disk read through the segment with whatever lead the
+   slower device allows. End-of-medium re-homes and restarts exactly
+   like the blocking path (the data is address-free, and the watermark
+   carries over); a whole-segment retry after a media fault re-awaits
+   the already-read prefix instantly. *)
+let writeout_stream_write st ctx ws =
+  let line = ctx.w_line in
+  let rec attempt () =
+    let vol, seg = Addr_space.vol_seg_of_tindex st.aspace line.Seg_cache.tindex in
+    match
+      with_retries st ~what:"writeout:tertiary-write" (fun () ->
+          phased_wo st `Tertiary (fun () ->
+              Sim.Trace.span ~cat:"service" "writeout:tertiary-write"
+                ~args:
+                  [
+                    ("tindex", string_of_int line.Seg_cache.tindex);
+                    ("vol", string_of_int vol);
+                    ("stream", "1");
+                  ]
+                (fun () ->
+                  Footprint.write_seg_stream_from st.fp ~vol ~seg
+                    ~chunk:(max 1 st.stream_chunk_blocks) ~src:ws.ws_buf ~src_off:0
+                    ~await:(fun ~off ~blocks ->
+                      while ws.ws_read < off + blocks && ws.ws_failed = None do
+                        (* the stall is part of the tertiary phase: the
+                           drive is claimed and waiting on the producer *)
+                        Sim.Condvar.wait ~charge:Sim.Ledger.Queue_wait ws.ws_avail
+                      done;
+                      match ws.ws_failed with
+                      | Some msg -> raise (Stream_aborted msg)
+                      | None -> ())
+                    (fun ~off ~blocks ->
+                      st.on_writeout_chunk line.Seg_cache.tindex (off + blocks)))))
+    with
+    | exception Stream_aborted msg -> Error msg
+    | Error _ as e -> e
+    | Ok Footprint.Written ->
+        writeout_done st ctx;
+        Ok ()
+    | Ok Footprint.End_of_medium ->
+        Hl_log.Log.info (fun m ->
+            m "end of medium: re-homing staged segment (was tseg %d)" line.Seg_cache.tindex);
+        rehome st line;
+        Sim.Trace.async_instant line.Seg_cache.span_id
+          ~args:[ ("phase", "rehome"); ("new_tindex", string_of_int line.Seg_cache.tindex) ];
+        ctx.w_status := Rehomed line.Seg_cache.tindex;
+        attempt ()
+  in
+  Sim.Ledger.with_active ~redirect:Sim.Ledger.Tertiary_write line.Seg_cache.ledger attempt
 
 (* ---------- the pipelined worker pool ---------- *)
 
@@ -506,18 +713,23 @@ let rec writeout_write st ctx image =
    write-out batch back-to-back, amortizing robot swaps. *)
 (* Queue entries carry their push time, so the pop can charge the
    interval to the request's ledger as [Queue_wait]. *)
+type tert_job =
+  | T_fetch_read of fetch_ctx
+  | T_writeout_write of wo_ctx * Bytes.t
+      (** blocking pipeline: the staged image was fully lifted off the
+          cache disk before this job was queued *)
+  | T_writeout_stream of wo_ctx
+      (** streaming pipeline: the disk read runs concurrently; the data
+          arrives through the context's [wo_stream] watermark *)
+
 type vol_work = {
   vw_urgent : (int * float * fetch_ctx) Queue.t;
   vw_prefetch : (int * float * fetch_ctx) Queue.t;
-  vw_wo : (float * wo_ctx * Bytes.t) Queue.t;
+  vw_wo : (float * tert_job) Queue.t;
   mutable vw_claimed : bool;
   vw_depth_name : string; (* "tertq.vol<N>.depth", formatted once *)
   mutable vw_depth_gauge : Sim.Metrics.gauge option; (* resolved on first use *)
 }
-
-type tert_job =
-  | T_fetch_read of fetch_ctx
-  | T_writeout_write of wo_ctx * Bytes.t
 
 type tertq = {
   tq_vols : (int, vol_work) Hashtbl.t;
@@ -570,7 +782,46 @@ let tq_note_depth st q vol =
   if Sim.Trace.enabled () then
     Sim.Trace.counter ~track:"tertq" ~cat:"service" vw.vw_depth_name (float_of_int depth)
 
+(* Idle-readahead preemption: demand or write-out work arriving kicks
+   every still-queued idle prefetch out of the tertiary queues — the
+   daemon only speculates on drive time nobody else wants, and a queued
+   hint already holds a cache line and a disk segment that real work may
+   need. In-flight idle fetches (already claimed by a worker) finish on
+   their own. *)
+let preempt_idle st q =
+  Hashtbl.iter
+    (fun vol vw ->
+      if
+        Queue.fold
+          (fun any (_, _, c) -> any || c.f_line.Seg_cache.idle_hint)
+          false vw.vw_prefetch
+      then begin
+        let keep = Queue.create () in
+        Queue.iter
+          (fun ((_, _, ctx) as entry) ->
+            let line = ctx.f_line in
+            if line.Seg_cache.idle_hint then begin
+              Sim.Metrics.incr (Sim.Metrics.counter st.metrics "idle.preempted");
+              Sim.Trace.async_end ~track:"service" line.Seg_cache.span_id
+                ~args:[ ("preempted", "1") ];
+              line.Seg_cache.span_id <- -1;
+              Sim.Ledger.drop line.Seg_cache.ledger;
+              line.Seg_cache.ledger <- Sim.Ledger.none;
+              if line.Seg_cache.disk_seg >= 0 then
+                Lfs.Fs.release_segment (fs st) line.Seg_cache.disk_seg;
+              Seg_cache.remove st.cache line;
+              Sim.Condvar.broadcast line.Seg_cache.ready
+            end
+            else Queue.add entry keep)
+          vw.vw_prefetch;
+        Queue.clear vw.vw_prefetch;
+        Queue.transfer keep vw.vw_prefetch;
+        tq_note_depth st q vol
+      end)
+    q.tq_vols
+
 let tq_push_fetch st q ctx =
+  if ctx.f_urgent then preempt_idle st q;
   let vol = fetch_vol st ctx in
   let vw = tq_vol q vol in
   let seq = q.tq_seq in
@@ -579,9 +830,15 @@ let tq_push_fetch st q ctx =
   tq_note_depth st q vol;
   Sim.Condvar.broadcast q.tq_cv
 
-let tq_push_writeout st q ctx image =
+let wo_job_ctx = function
+  | T_writeout_write (ctx, _) | T_writeout_stream ctx -> ctx
+  | T_fetch_read _ -> invalid_arg "Service.wo_job_ctx"
+
+let tq_push_writeout st q job =
+  preempt_idle st q;
+  let ctx = wo_job_ctx job in
   let vol, _ = Addr_space.vol_seg_of_tindex st.aspace ctx.w_line.Seg_cache.tindex in
-  Queue.add (now st, ctx, image) (tq_vol q vol).vw_wo;
+  Queue.add (now st, job) (tq_vol q vol).vw_wo;
   tq_note_depth st q vol;
   Sim.Condvar.broadcast q.tq_cv
 
@@ -627,9 +884,10 @@ let tq_take st q =
     Option.map
       (fun (_, vol) ->
         let vw = Hashtbl.find q.tq_vols vol in
-        let pushed, ctx, image = Queue.pop vw.vw_wo in
+        let pushed, job = Queue.pop vw.vw_wo in
+        let ctx = wo_job_ctx job in
         Sim.Ledger.charge_since ctx.w_line.Seg_cache.ledger Sim.Ledger.Queue_wait pushed;
-        (vol, T_writeout_write (ctx, image)))
+        (vol, job))
       !best
   in
   match best_fetch (fun vw -> vw.vw_urgent) with
@@ -648,6 +906,9 @@ let rec tq_pop st q =
         tq_note_depth st q vol;
         Some (vol, job)
     | None ->
+        (* nothing to do: give the idle-readahead daemon a shot at the
+           drive this worker is about to park *)
+        Sim.Condvar.broadcast st.idle_kick;
         Sim.Condvar.wait q.tq_cv;
         tq_pop st q
 
@@ -661,6 +922,9 @@ let tq_release q vol =
 type disk_job =
   | D_fetch_write of fetch_ctx * Bytes.t
   | D_writeout_read of wo_ctx
+  | D_writeout_stream of wo_ctx
+      (** streaming write-out's producer half: fill the context's stream
+          buffer chunk by chunk, advancing the shared watermark *)
 
 type diskq = {
   dq_urgent : (float * disk_job) Queue.t;
@@ -685,6 +949,11 @@ let dq_push st q ~urgent job =
 let dq_job_ledger = function
   | D_fetch_write (ctx, _) -> ctx.f_line.Seg_cache.ledger
   | D_writeout_read ctx -> ctx.w_line.Seg_cache.ledger
+  | D_writeout_stream _ ->
+      (* the tertiary side owns the streaming write-out's ledger and is
+         queued concurrently: charging the disk queue's wait here would
+         double-bill the same wall-clock interval *)
+      Sim.Ledger.none
 
 let rec dq_pop st q =
   if st.stop_service then None
@@ -712,9 +981,13 @@ let cancel_prefetch st line =
   Sim.Ledger.drop line.Seg_cache.ledger;
   line.Seg_cache.ledger <- Sim.Ledger.none;
   Seg_cache.remove st.cache line;
-  st.prefetches_dropped <- st.prefetches_dropped + 1;
-  Sim.Metrics.incr (Sim.Metrics.counter st.metrics "prefetch.dropped");
-  if line.Seg_cache.prefetched then st.on_prefetch_wasted line.Seg_cache.tindex;
+  if line.Seg_cache.idle_hint then
+    Sim.Metrics.incr (Sim.Metrics.counter st.metrics "idle.preempted")
+  else begin
+    st.prefetches_dropped <- st.prefetches_dropped + 1;
+    Sim.Metrics.incr (Sim.Metrics.counter st.metrics "prefetch.dropped");
+    if line.Seg_cache.prefetched then st.on_prefetch_wasted line.Seg_cache.tindex
+  end;
   Sim.Condvar.broadcast line.Seg_cache.ready
 
 (* The pipelined service/I-O machinery (paper §11's "overlapping the
@@ -752,6 +1025,15 @@ let spawn_pipelined st =
               | Error msg -> fail_writeout st ctx msg);
               tq_release tq vol;
               loop ()
+          | Some (vol, T_writeout_stream ctx) ->
+              (match ctx.w_stream with
+              | Some ws -> (
+                  match writeout_stream_write st ctx ws with
+                  | Ok () -> ()
+                  | Error msg -> fail_writeout st ctx msg)
+              | None -> fail_writeout st ctx "stream context missing");
+              tq_release tq vol;
+              loop ()
         in
         loop ())
   done;
@@ -767,7 +1049,7 @@ let spawn_pipelined st =
         | Some (D_writeout_read ctx) -> (
             match writeout_read st ctx with
             | Ok image when not st.stop_service ->
-                tq_push_writeout st tq ctx image;
+                tq_push_writeout st tq (T_writeout_write (ctx, image));
                 loop ()
             | Ok _ ->
                 fail_writeout st ctx "service stopped";
@@ -775,6 +1057,76 @@ let spawn_pipelined st =
             | Error msg ->
                 fail_writeout st ctx msg;
                 loop ())
+        | Some (D_writeout_stream ctx) ->
+            (match ctx.w_stream with
+            | Some ws -> writeout_stream_read st ctx ws
+            | None -> fail_writeout st ctx "stream context missing");
+            loop ()
+      in
+      loop ());
+  (* Cost-aware idle readahead: a tertiary worker about to park kicks
+     this daemon, which — when enabled and only when no real work is
+     queued anywhere — speculatively fetches the warmest uncached
+     segment living on a currently-loaded volume ({!Obs.Heat} fed by
+     every tertiary access). Loaded volumes only: the speculation costs
+     idle drive time, never a robot swap. One hint per kick keeps the
+     daemon self-pacing — the next kick arrives when a worker runs dry
+     again — and any demand or write-out arrival sweeps still-queued
+     hints back out ([preempt_idle]). *)
+  Sim.Engine.spawn st.engine ~name:"hl-idle-ra" (fun () ->
+      let queues_busy () =
+        Hashtbl.fold
+          (fun _ vw busy ->
+            busy
+            || not (Queue.is_empty vw.vw_urgent)
+            || not (Queue.is_empty vw.vw_prefetch)
+            || not (Queue.is_empty vw.vw_wo))
+          tq.tq_vols false
+      in
+      let try_issue () =
+        if
+          st.idle_readahead
+          && (not (queues_busy ()))
+          && Seg_cache.length st.cache < Seg_cache.max_lines st.cache
+        then begin
+          let tnow = now st in
+          let best = ref None in
+          Lfs.Segusage.iter st.tseg (fun tindex e ->
+              if
+                e.Lfs.Segusage.state <> Lfs.Segusage.Clean
+                && Seg_cache.find st.cache tindex = None
+                && Footprint.volume_loaded st.fp
+                     (fst (Addr_space.vol_seg_of_tindex st.aspace tindex))
+              then begin
+                let heat = Obs.Heat.get st.heat ~now:tnow tindex in
+                if heat >= 0.05 then
+                  match !best with
+                  | Some (h, _) when h >= heat -> ()
+                  | _ -> best := Some (heat, tindex)
+              end);
+          match !best with
+          | None -> ()
+          | Some (_, tindex) ->
+              let line =
+                Seg_cache.insert st.cache ~tindex ~disk_seg:(-1)
+                  ~state:Seg_cache.Fetching ~now:tnow
+              in
+              line.Seg_cache.prefetched <- true;
+              line.Seg_cache.idle_hint <- true;
+              line.Seg_cache.span_id <-
+                Sim.Trace.async_begin ~track:"service" ~cat:"lifecycle" "idle-prefetch"
+                  ~args:[ ("tindex", string_of_int tindex) ];
+              line.Seg_cache.ledger <- Sim.Ledger.open_request ~kind:"prefetch";
+              Sim.Metrics.incr (Sim.Metrics.counter st.metrics "idle.issued");
+              State.submit st (Fetch { line; enqueued = tnow; is_prefetch = true })
+        end
+      in
+      let rec loop () =
+        Sim.Condvar.wait st.idle_kick;
+        if not st.stop_service then begin
+          try_issue ();
+          loop ()
+        end
       in
       loop ());
   (* requests whose cache-line allocation failed; retried on progress *)
@@ -829,14 +1181,41 @@ let spawn_pipelined st =
               else Queue.add (line, enqueued) starved
         | Writeout { line; status; done_cv; _ } when st.stop_service ->
             fail_writeout st
-              { w_line = line; w_status = status; w_done = done_cv }
+              { w_line = line; w_status = status; w_done = done_cv; w_stream = None }
               "service stopped"
         | Writeout { line; enqueued; status; done_cv } ->
+            preempt_idle st tq;
             st.queue_time <- st.queue_time +. (now st -. enqueued);
             Sim.Ledger.charge_since line.Seg_cache.ledger Sim.Ledger.Queue_wait enqueued;
             Sim.Trace.async_instant line.Seg_cache.span_id ~args:[ ("phase", "dispatch") ];
-            dq_push st dq ~urgent:false
-              (D_writeout_read { w_line = line; w_status = status; w_done = done_cv })
+            let vol, _ = Addr_space.vol_seg_of_tindex st.aspace line.Seg_cache.tindex in
+            (* WORM media always takes the blocking path: a mid-stream
+               fault retry re-writes the whole segment, which a WORM
+               volume would reject as an overwrite *)
+            if
+              st.streaming_writeout
+              && Footprint.media_kind st.fp vol <> Device.Jukebox.Worm
+            then begin
+              let ws =
+                {
+                  ws_buf = Bytes.create (seg_blocks st * Footprint.block_size st.fp);
+                  ws_read = 0;
+                  ws_avail = Sim.Condvar.create ();
+                  ws_failed = None;
+                }
+              in
+              let ctx =
+                { w_line = line; w_status = status; w_done = done_cv; w_stream = Some ws }
+              in
+              (* both halves start now: the disk read begins filling the
+                 buffer while the tertiary job queues for a drive *)
+              dq_push st dq ~urgent:false (D_writeout_stream ctx);
+              tq_push_writeout st tq (T_writeout_stream ctx)
+            end
+            else
+              dq_push st dq ~urgent:false
+                (D_writeout_read
+                   { w_line = line; w_status = status; w_done = done_cv; w_stream = None })
         | Progress ->
             poke_pending := false;
             retry_starved ());
@@ -857,13 +1236,16 @@ let spawn_pipelined st =
         Queue.clear vw.vw_urgent;
         Queue.iter (fun (_, _, ctx) -> fail_fetch st ctx.f_line abort) vw.vw_prefetch;
         Queue.clear vw.vw_prefetch;
-        Queue.iter (fun (_, ctx, _) -> fail_writeout st ctx abort) vw.vw_wo;
+        Queue.iter (fun (_, job) -> fail_writeout st (wo_job_ctx job) abort) vw.vw_wo;
         Queue.clear vw.vw_wo)
       tq.tq_vols;
     let abort_disk_job (_, job) =
       match job with
       | D_fetch_write (ctx, _) -> fail_fetch st ctx.f_line abort
-      | D_writeout_read ctx -> fail_writeout st ctx abort
+      (* [fail_writeout] is idempotent and always unsticks the stream
+         watermark, so reaching a streaming context from both of its
+         queues is safe *)
+      | D_writeout_read ctx | D_writeout_stream ctx -> fail_writeout st ctx abort
     in
     Queue.iter abort_disk_job dq.dq_urgent;
     Queue.clear dq.dq_urgent;
@@ -877,7 +1259,9 @@ let spawn_pipelined st =
           fail_fetch st line abort;
           drain_mb ()
       | Some (Writeout { line; status; done_cv; _ }) ->
-          fail_writeout st { w_line = line; w_status = status; w_done = done_cv } abort;
+          fail_writeout st
+            { w_line = line; w_status = status; w_done = done_cv; w_stream = None }
+            abort;
           drain_mb ()
       | Some Progress -> drain_mb ()
       | None -> ()
@@ -888,6 +1272,7 @@ let spawn_pipelined st =
     Sim.Mailbox.send st.service_mb Progress;
     Sim.Condvar.broadcast tq.tq_cv;
     Sim.Condvar.broadcast dq.dq_cv;
+    Sim.Condvar.broadcast st.idle_kick;
     Sim.Condvar.broadcast st.cache_progress
 
 (* ---------- the serial baseline ---------- *)
@@ -994,7 +1379,8 @@ let spawn_serial st =
             Sim.Trace.async_instant line.Seg_cache.span_id ~args:[ ("phase", "dispatch") ];
             let cv = Sim.Condvar.create () in
             Sim.Mailbox.send io_mb
-              (Io_writeout ({ w_line = line; w_status = status; w_done = done_cv }, cv));
+              (Io_writeout
+                 ({ w_line = line; w_status = status; w_done = done_cv; w_stream = None }, cv));
             Sim.Condvar.wait cv
         | Some Progress -> () (* never queued; classify drops it *));
         if not st.stop_service then loop ()
@@ -1006,7 +1392,7 @@ let spawn_serial st =
         | Fetch { line; _ } -> fail_fetch st line "service stopped"
         | Writeout { line; status; done_cv; _ } ->
             fail_writeout st
-              { w_line = line; w_status = status; w_done = done_cv }
+              { w_line = line; w_status = status; w_done = done_cv; w_stream = None }
               "service stopped"
         | Progress -> ()
       in

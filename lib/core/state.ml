@@ -52,7 +52,25 @@ type t = {
   mutable io_busy_since : float;
   mutable prefetches_dropped : int;
   mutable streaming_fetch : bool;
+  mutable streaming_writeout : bool;
+      (** overlap the staging-disk read with the tertiary write inside
+          one segment (written-prefix watermark); WORM volumes always
+          take the blocking path, since a mid-stream fault retry would
+          overwrite already-written blocks *)
+  mutable idle_readahead : bool;
+      (** when a tertiary worker goes idle, prefetch warm segments off
+          the currently loaded volumes (cost-aware: never triggers a
+          swap); queued idle prefetches are cancelled the moment demand
+          or write-out work arrives *)
   mutable stream_chunk_blocks : int;
+  (* write-out phase busy/union accounting, the writeout-specific twin
+     of the io_* fields below: busy/union > 1 is the within-request
+     disk-read/tertiary-write overlap the streaming pipeline creates *)
+  mutable wo_disk_time : float;
+  mutable wo_tertiary_time : float;
+  mutable wo_union_time : float;
+  mutable wo_active : int;
+  mutable wo_busy_since : float;
   mutable on_prefetch_used : int -> unit;
   mutable on_prefetch_wasted : int -> unit;
   mutable io_mode : io_mode;
@@ -72,6 +90,18 @@ type t = {
   mutable on_writeout : int -> unit;
       (** observation hook: a write-out of this tindex reached tertiary
           storage (the crash-recovery harness snapshots here) *)
+  mutable on_writeout_chunk : int -> int -> unit;
+      (** observation hook: [on_writeout_chunk tindex written] — the
+          written-prefix watermark of a streaming write-out advanced to
+          [written] blocks (the chunk-boundary crash harness snapshots
+          here) *)
+  heat : Obs.Heat.t;
+      (** per-tertiary-segment access temperature (half-life decay),
+          touched on every tertiary read — the idle-readahead daemon's
+          warmth signal *)
+  idle_kick : Sim.Condvar.t;
+      (** poked whenever a tertiary worker runs out of work; the
+          idle-readahead daemon sleeps here *)
   mutable avoid_volume : int option;
   mutable restrict_volume : int option;
   retry : retry_policy;
@@ -107,7 +137,14 @@ let create ~engine ~aspace ~disk ~fp ~cache =
     io_busy_since = 0.0;
     prefetches_dropped = 0;
     streaming_fetch = true;
+    streaming_writeout = true;
+    idle_readahead = false;
     stream_chunk_blocks = 16;
+    wo_disk_time = 0.0;
+    wo_tertiary_time = 0.0;
+    wo_union_time = 0.0;
+    wo_active = 0;
+    wo_busy_since = 0.0;
     on_prefetch_used = (fun _ -> ());
     on_prefetch_wasted = (fun _ -> ());
     io_mode = Pipelined;
@@ -122,6 +159,9 @@ let create ~engine ~aspace ~disk ~fp ~cache =
     on_fetch_start = (fun _ -> ());
     on_fetch = (fun _ -> ());
     on_writeout = (fun _ -> ());
+    on_writeout_chunk = (fun _ _ -> ());
+    heat = Obs.Heat.create ();
+    idle_kick = Sim.Condvar.create ();
     avoid_volume = None;
     restrict_volume = None;
     retry = default_retry_policy ();

@@ -91,10 +91,29 @@ type t = {
           the line's image with a valid-prefix watermark, waking waiters
           at first usable block; when false, the pre-streaming blocking
           behaviour (wake only at fetch completion) *)
+  mutable streaming_writeout : bool;
+      (** when true (default, pipelined mode only), a write-out's
+          staging-disk read overlaps its tertiary write within the
+          segment behind a written-prefix watermark; WORM volumes always
+          take the blocking path, since a mid-stream fault retry would
+          overwrite already-written blocks *)
+  mutable idle_readahead : bool;
+      (** off by default: when a tertiary worker goes idle, prefetch the
+          warmest uncached segments of the currently loaded volumes
+          (cost-aware — never triggers a swap); queued idle prefetches
+          are cancelled the moment demand/write-out work arrives *)
   mutable stream_chunk_blocks : int;
       (** streaming delivery grain in blocks (the simulated bus already
           transfers at 64 KB; tests shrink this to observe mid-stream
           states on small segments) *)
+  mutable wo_disk_time : float;  (** busy time of write-out staging-disk reads *)
+  mutable wo_tertiary_time : float;  (** busy time of write-out tertiary writes *)
+  mutable wo_union_time : float;
+      (** wall time during which >= 1 write-out phase was in flight; the
+          write-out overlap fraction is (disk + tertiary) / union — 1.0
+          when the phases serialize, approaching 2.0 at full overlap *)
+  mutable wo_active : int;
+  mutable wo_busy_since : float;
   mutable on_prefetch_used : int -> unit;
       (** a prefetched line was demanded before eviction (tindex) — the
           adaptive readahead policy scores itself here *)
@@ -124,6 +143,18 @@ type t = {
   mutable on_writeout : int -> unit;
       (** observation hook: a write-out of this tindex reached tertiary
           storage (the crash-recovery harness snapshots here) *)
+  mutable on_writeout_chunk : int -> int -> unit;
+      (** observation hook: [on_writeout_chunk tindex written] — a
+          streaming write-out's written-prefix watermark advanced to
+          [written] blocks on the media (the chunk-boundary crash
+          harness snapshots here) *)
+  heat : Obs.Heat.t;
+      (** per-tertiary-segment access temperature (half-life decay),
+          touched by {!Block_io} on every tertiary read — the
+          idle-readahead daemon's warmth signal *)
+  idle_kick : Sim.Condvar.t;
+      (** poked whenever a tertiary worker runs out of work; the
+          idle-readahead daemon sleeps here *)
   mutable avoid_volume : int option;
       (** volume excluded from allocation (being cleaned) *)
   mutable restrict_volume : int option;

@@ -57,6 +57,33 @@ val write_from : t -> blk:int -> src:Bytes.t -> src_off:int -> count:int -> unit
 (** {!write} of the [count]-block view at [src_off] in [src] — lets a
     caller write one run of a larger image without slicing it out. *)
 
+val write_stream_from :
+  t ->
+  blk:int ->
+  src:Bytes.t ->
+  src_off:int ->
+  count:int ->
+  ?chunk:int ->
+  ?await:(off:int -> blocks:int -> unit) ->
+  (off:int -> blocks:int -> unit) ->
+  unit
+(** Like {!write_from} (same simulated timing), but the store mutates
+    and the fault plan is consulted per [chunk]-block piece — a
+    mid-stream fault leaves exactly the chunks already transferred.
+    [await ~off ~blocks] (if given) runs before each chunk and may block
+    until the producer has made the piece available; the final callback
+    fires after each chunk lands. *)
+
+val write_stream :
+  t ->
+  blk:int ->
+  Bytes.t ->
+  ?chunk:int ->
+  ?await:(off:int -> blocks:int -> unit) ->
+  (off:int -> blocks:int -> unit) ->
+  unit
+(** {!write_stream_from} over a whole buffer. *)
+
 val store : t -> Blockstore.t
 (** Direct access to the backing bytes, bypassing timing — used only by
     debugging/introspection tools, never by the file systems. *)

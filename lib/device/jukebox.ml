@@ -371,6 +371,51 @@ let write t ~vol ~blk data =
       position_and_transfer t d ~blk ~count ~rate:t.prof.write_rate ~op:"write";
       t.wbytes <- t.wbytes + Bytes.length data)
 
+(* Streaming write: the same drive/robot/bus model as [write], but the
+   store mutates and the fault plan is consulted per chunk — a media
+   error can strike at chunk k, leaving exactly the prefix written (a
+   retry that rewrites the whole segment is safe on rewritable media;
+   WORM is pre-checked and must use the blocking path under retry).
+   [await] runs before each chunk and may block holding the drive — the
+   written-prefix watermark stall of a streaming write-out, which is how
+   a real tape drive starves when the staging disk falls behind. *)
+let write_stream_from t ~vol ~blk ~src ~src_off ~count ?(chunk = chunk_blocks) ?await f =
+  if vol < 0 || vol >= nvolumes t then invalid_arg "Jukebox.write_stream_from: bad volume";
+  if chunk <= 0 then invalid_arg "Jukebox.write_stream_from: bad chunk";
+  let bs = t.prof.block_size in
+  if src_off < 0 || src_off + (count * bs) > Bytes.length src then
+    invalid_arg "Jukebox.write_stream_from: view outside buffer";
+  if t.prof.kind = Worm then
+    for i = blk to blk + count - 1 do
+      if Blockstore.is_written t.volumes.(vol) i then raise (Worm_overwrite { vol; blk = i })
+    done;
+  with_drive t vol ~for_write:true (fun d ->
+      let rec go off remaining =
+        if remaining > 0 then begin
+          let n = min remaining chunk in
+          (match await with Some a -> a ~off ~blocks:n | None -> ());
+          (* consulted before the store mutates: a faulted chunk leaves
+             no data, though the chunks before it stay written *)
+          Fault.check ~site:d.track Fault.Write;
+          Blockstore.write_from t.volumes.(vol) ~blk:(blk + off) ~src
+            ~src_off:(src_off + (off * bs))
+            ~count:n;
+          position_and_transfer ~chunk t d ~blk:(blk + off) ~count:n ~rate:t.prof.write_rate
+            ~op:"write";
+          t.wbytes <- t.wbytes + (n * bs);
+          f ~off ~blocks:n;
+          go (off + n) (remaining - n)
+        end
+      in
+      go 0 count)
+
+let write_stream t ~vol ~blk data ?chunk ?await f =
+  let len = Bytes.length data in
+  if len = 0 || len mod t.prof.block_size <> 0 then
+    invalid_arg "Jukebox.write_stream: length must be a positive multiple of block size";
+  write_stream_from t ~vol ~blk ~src:data ~src_off:0 ~count:(len / t.prof.block_size) ?chunk
+    ?await f
+
 let swaps t = t.n_swaps
 let swap_time_total t = t.swap_total
 let bytes_read t = t.rbytes

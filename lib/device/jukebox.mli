@@ -97,6 +97,39 @@ val read_stream_into :
     single store→buffer copy instead of chunk-buffer + blit. The
     callback receives only the chunk's block offset and length. *)
 
+val write_stream_from :
+  t ->
+  vol:int ->
+  blk:int ->
+  src:Bytes.t ->
+  src_off:int ->
+  count:int ->
+  ?chunk:int ->
+  ?await:(off:int -> blocks:int -> unit) ->
+  (off:int -> blocks:int -> unit) ->
+  unit
+(** Streaming write, symmetric to {!read_stream_into}: the volume
+    mutates and the fault plan is consulted per [chunk]-block piece, so
+    a media error can fire at chunk k leaving exactly the prefix
+    written (rewritable media tolerate a whole-segment rewrite on
+    retry; WORM overwrites are pre-checked and raise {!Worm_overwrite}
+    before any I/O). [await ~off ~blocks] (if given) runs before each
+    chunk and may block while holding the drive — the written-prefix
+    watermark stall of a streaming write-out; the final callback fires
+    after each chunk is on the media. Same simulated timing as
+    {!write}. *)
+
+val write_stream :
+  t ->
+  vol:int ->
+  blk:int ->
+  Bytes.t ->
+  ?chunk:int ->
+  ?await:(off:int -> blocks:int -> unit) ->
+  (off:int -> blocks:int -> unit) ->
+  unit
+(** {!write_stream_from} over a whole buffer. *)
+
 val reserve_write_drive : t -> bool -> unit
 (** When enabled, drive 0 is used only for volumes being written
     (requests pass [`Write]), keeping reads from evicting the active

@@ -95,16 +95,24 @@ let read_seg_into t ~vol ~seg ~dst ~dst_off =
       Jukebox.read_into jb ~vol:v ~blk:(seg * t.seg_blocks) ~count:t.seg_blocks ~dst ~dst_off;
       t.rbytes <- t.rbytes + (t.seg_blocks * t.block_size))
 
-let read_seg_stream_into t ~vol ~seg ?chunk ~dst ~dst_off f =
+let read_seg_stream_into t ~vol ~seg ?chunk ?(off = 0) ~dst ~dst_off f =
   let jb, v = locate t vol in
   if seg < 0 || seg >= real_segs t jb then
     invalid_arg "Footprint.read_seg_stream_into: bad segment";
+  if off < 0 || off >= t.seg_blocks then invalid_arg "Footprint.read_seg_stream_into: bad offset";
+  (* [off] > 0 is the tail re-fetch of a partial cache line: only the
+     suffix moves, but chunks still land at their final image offsets
+     and the callback reports segment-absolute positions, so watermark
+     code upstream is oblivious to where the read started *)
+  let start = off in
   timed t (fun () ->
-      Jukebox.read_stream_into jb ~vol:v ~blk:(seg * t.seg_blocks) ~count:t.seg_blocks ?chunk
-        ~dst ~dst_off
+      Jukebox.read_stream_into jb ~vol:v
+        ~blk:((seg * t.seg_blocks) + start)
+        ~count:(t.seg_blocks - start) ?chunk ~dst
+        ~dst_off:(dst_off + (start * t.block_size))
         (fun ~off ~blocks ->
           t.rbytes <- t.rbytes + (blocks * t.block_size);
-          f ~off ~blocks))
+          f ~off:(start + off) ~blocks))
 
 let read_seg_stream t ~vol ~seg ?chunk f =
   let jb, v = locate t vol in
@@ -129,6 +137,35 @@ let write_seg t ~vol ~seg data =
         Jukebox.write jb ~vol:v ~blk:(seg * t.seg_blocks) data;
         t.wbytes <- t.wbytes + Bytes.length data;
         Written)
+
+(* Streaming write-out, symmetric to [read_seg_stream_into]: the
+   end-of-medium check happens up front (as in [write_seg], before any
+   motion), then the image streams to the device in chunks with
+   per-chunk fault checks. [await] is the written-prefix watermark hook:
+   it runs before each chunk and may block until the staging read has
+   delivered that piece. *)
+let write_seg_stream_from t ~vol ~seg ?chunk ~src ~src_off ?await f =
+  if src_off < 0 || src_off + (t.seg_blocks * t.block_size) > Bytes.length src then
+    invalid_arg "Footprint.write_seg_stream_from: view outside buffer";
+  let jb, v = locate t vol in
+  if seg < 0 || seg >= t.segs_per_volume then
+    invalid_arg "Footprint.write_seg_stream_from: bad segment";
+  if t.full.(vol) || seg >= real_segs t jb then begin
+    t.full.(vol) <- true;
+    End_of_medium
+  end
+  else
+    timed t (fun () ->
+        Jukebox.write_stream_from jb ~vol:v ~blk:(seg * t.seg_blocks) ~src ~src_off
+          ~count:t.seg_blocks ?chunk ?await
+          (fun ~off ~blocks ->
+            t.wbytes <- t.wbytes + (blocks * t.block_size);
+            f ~off ~blocks);
+        Written)
+
+let media_kind t vol =
+  let jb, _ = locate t vol in
+  (Jukebox.media jb).Jukebox.kind
 
 let erase_volume t vol =
   let jb, v = locate t vol in

@@ -51,13 +51,17 @@ val read_seg_stream_into :
   vol:int ->
   seg:int ->
   ?chunk:int ->
+  ?off:int ->
   dst:Bytes.t ->
   dst_off:int ->
   (off:int -> blocks:int -> unit) ->
   unit
 (** {!read_seg_stream} landing directly in [dst]: each chunk is placed
     at its final offset before the callback fires, which receives only
-    the chunk's position and length in blocks. *)
+    the chunk's position and length in blocks. With [off] > 0 only the
+    segment's suffix from that block is read — the tail re-fetch of a
+    partial cache line — but chunks still land at their final image
+    offsets and callback positions stay segment-absolute. *)
 
 val read_seg_stream :
   t -> vol:int -> seg:int -> ?chunk:int -> (off:int -> Bytes.t -> unit) -> unit
@@ -73,6 +77,29 @@ val read_blocks : t -> vol:int -> seg:int -> off:int -> count:int -> Bytes.t
 val write_seg : t -> vol:int -> seg:int -> Bytes.t -> write_result
 (** Writes a whole segment image. [End_of_medium] marks the volume full
     and writes nothing. *)
+
+val write_seg_stream_from :
+  t ->
+  vol:int ->
+  seg:int ->
+  ?chunk:int ->
+  src:Bytes.t ->
+  src_off:int ->
+  ?await:(off:int -> blocks:int -> unit) ->
+  (off:int -> blocks:int -> unit) ->
+  write_result
+(** Streaming {!write_seg} from the segment-sized view at [src_off]:
+    per-chunk fault checks (a media error at chunk k leaves the prefix
+    written), [End_of_medium] still detected up front before any
+    motion. [await ~off ~blocks] (if given) runs before each chunk and
+    may block until the producer has made the piece available — the
+    written-prefix watermark of the streaming write-out pipeline; the
+    final callback fires as each chunk lands. *)
+
+val media_kind : t -> int -> Jukebox.media_kind
+(** Media kind of the jukebox holding the volume — WORM volumes must
+    take the blocking write-out path, since a mid-stream fault retry
+    would overwrite already-written blocks. *)
 
 val erase_volume : t -> int -> unit
 (** Support for the tertiary cleaner: reclaims a whole volume. *)

@@ -1,20 +1,64 @@
-type t = { queue : (unit -> unit) Queue.t }
+(* Single-waiter fast path: the dominant pattern (a worker parked on a
+   work-queue condvar, a reader parked on a line's ready condvar) has
+   exactly one waiter, so the wake closure lives in an inline slot and
+   the overflow Queue — and its per-wait cell — is only allocated once a
+   second process parks on the same condvar. [w1] always holds the
+   oldest waiter, so signal order stays FIFO. *)
 
-let create () = { queue = Queue.create () }
+type t = {
+  mutable w1 : (unit -> unit) option;
+  mutable overflow : (unit -> unit) Queue.t option;
+}
 
-let wait ?charge t =
-  let park () = Engine.suspend (fun wake -> Queue.add wake t.queue) in
-  match charge with None -> park () | Some cat -> Ledger.charged_active cat park
+let create () = { w1 = None; overflow = None }
 
-let signal t = match Queue.take_opt t.queue with None -> () | Some wake -> wake ()
+let overflow_empty t = match t.overflow with None -> true | Some q -> Queue.is_empty q
 
-let broadcast t =
-  (* the overwhelmingly common case on streaming watermark bumps is an
-     empty wait queue — skip the copy *)
-  if not (Queue.is_empty t.queue) then begin
-    let pending = Queue.copy t.queue in
-    Queue.clear t.queue;
-    Queue.iter (fun wake -> wake ()) pending
+let park_slot t wake =
+  if t.w1 = None && overflow_empty t then t.w1 <- Some wake
+  else begin
+    let q =
+      match t.overflow with
+      | Some q -> q
+      | None ->
+          let q = Queue.create () in
+          t.overflow <- Some q;
+          q
+    in
+    Queue.add wake q
   end
 
-let waiters t = Queue.length t.queue
+let wait ?charge t =
+  let park () = Engine.suspend (fun wake -> park_slot t wake) in
+  match charge with None -> park () | Some cat -> Ledger.charged_active cat park
+
+let signal t =
+  match t.w1 with
+  | Some wake ->
+      t.w1 <- None;
+      wake ()
+  | None -> (
+      match t.overflow with
+      | None -> ()
+      | Some q -> ( match Queue.take_opt q with None -> () | Some wake -> wake ()))
+
+let broadcast t =
+  (* capture-then-clear before waking anything: a woken process may
+     re-wait on the same condvar, and its fresh parking must not be
+     swept into this broadcast *)
+  let first = t.w1 in
+  t.w1 <- None;
+  let pending =
+    match t.overflow with
+    | Some q when not (Queue.is_empty q) ->
+        let c = Queue.copy q in
+        Queue.clear q;
+        Some c
+    | _ -> None
+  in
+  (match first with Some wake -> wake () | None -> ());
+  match pending with Some c -> Queue.iter (fun wake -> wake ()) c | None -> ()
+
+let waiters t =
+  (match t.w1 with Some _ -> 1 | None -> 0)
+  + (match t.overflow with None -> 0 | Some q -> Queue.length q)

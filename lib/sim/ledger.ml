@@ -23,9 +23,13 @@ type category =
   | Bus_contention
   | Cache_disk_write
   | Lock_wait
+  | Tertiary_write
 
 let categories =
-  [ Queue_wait; Robot_swap; Seek_rotate; Transfer; Bus_contention; Cache_disk_write; Lock_wait ]
+  [
+    Queue_wait; Robot_swap; Seek_rotate; Transfer; Bus_contention; Cache_disk_write; Lock_wait;
+    Tertiary_write;
+  ]
 
 let ncats = List.length categories
 
@@ -37,6 +41,7 @@ let cat_index = function
   | Bus_contention -> 4
   | Cache_disk_write -> 5
   | Lock_wait -> 6
+  | Tertiary_write -> 7
 
 let category_name = function
   | Queue_wait -> "queue_wait"
@@ -46,6 +51,7 @@ let category_name = function
   | Bus_contention -> "bus_contention"
   | Cache_disk_write -> "cache_disk_write"
   | Lock_wait -> "lock_wait"
+  | Tertiary_write -> "tertiary_write"
 
 type t = {
   l_id : int;

@@ -23,6 +23,10 @@ type category =
   | Bus_contention  (** waiting for the SCSI bus *)
   | Cache_disk_write  (** the fetch's landing phase on the cache disk *)
   | Lock_wait  (** internal mutexes (jukebox arbitration) *)
+  | Tertiary_write
+      (** the write-out's tertiary phase: everything from claiming the
+          drive to the last block on media, including written-prefix
+          stalls waiting for the staging-disk read to catch up *)
 
 val categories : category list
 val category_name : category -> string

@@ -116,6 +116,43 @@ let test_crash_at_every_writeout_boundary () =
       check Alcotest.bytes "original /a verbatim" a (Hl.read_file w.hl "/a" ());
       check (Alcotest.list Alcotest.string) "original invariants" [] (Hl.check w.hl))
 
+(* The streaming refinement of the matrix above: snapshot the disk at
+   EVERY chunk boundary inside every streaming write-out. Mid-segment
+   the tertiary copy is torn — only a prefix of the segment has reached
+   the volume — but the log has not been re-pointed yet, so each
+   remount must still serve the file from its on-disk blocks and check
+   clean. *)
+let test_crash_at_every_stream_chunk () =
+  in_sim (fun engine ->
+      let w = make_world engine in
+      let fsys = Hl.fs w.hl in
+      let st = Hl.state w.hl in
+      st.State.stream_chunk_blocks <- 4;
+      let a = bytes_pattern (2 * seg_bytes) 17 in
+      Hl.write_file w.hl "/a" a;
+      Fs.checkpoint fsys;
+      let snapshots = ref [] in
+      st.State.on_writeout_chunk <-
+        (fun _tindex _written ->
+          snapshots := Fs.crash_image fsys w.store :: !snapshots);
+      ignore (Migrator.migrate_paths st [ "/a" ]);
+      st.State.on_writeout_chunk <- (fun _ _ -> ());
+      check Alcotest.bool "streaming write-out crossed several chunk boundaries" true
+        (List.length !snapshots >= 4);
+      List.iteri
+        (fun i img ->
+          let hl2 = remount engine w img in
+          check Alcotest.bytes
+            (Printf.sprintf "crash at chunk boundary %d: /a verbatim" i)
+            a (Hl.read_file hl2 "/a" ());
+          check
+            (Alcotest.list Alcotest.string)
+            (Printf.sprintf "crash at chunk boundary %d: invariants" i)
+            [] (Hl.check hl2))
+        (List.rev !snapshots);
+      check Alcotest.bytes "original /a verbatim" a (Hl.read_file w.hl "/a" ());
+      check (Alcotest.list Alcotest.string) "original invariants" [] (Hl.check w.hl))
+
 (* Crash after a migration that was flushed but never checkpointed:
    roll-forward alone must re-point the file at tertiary, and the
    remounted service layer fetches it from the jukebox. *)
@@ -207,6 +244,8 @@ let suite =
           test_crash_unflushed_loses_only_recent;
         Alcotest.test_case "crash at every migration write-out" `Quick
           test_crash_at_every_writeout_boundary;
+        Alcotest.test_case "crash at every streaming chunk boundary" `Quick
+          test_crash_at_every_stream_chunk;
         Alcotest.test_case "migration survives crash before checkpoint" `Quick
           test_crash_after_migration_before_checkpoint;
         Alcotest.test_case "torn log tail stops roll-forward" `Quick

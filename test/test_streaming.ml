@@ -27,7 +27,8 @@ let parse_ok text =
 (* A world whose tertiary transfer dominates everything else (slow read
    rate, fast robot), so the gap between "first chunk arrived" and
    "whole segment arrived" is unmistakable in the clock. *)
-let make_slow_world ?(streaming = true) ?(chunk = 4) ?(nsegs = 64) ?(cache_segs = 12) engine =
+let make_slow_world ?(streaming = true) ?(chunk = 4) ?(nsegs = 64) ?(cache_segs = 12)
+    ?(read_rate = 32.0 *. 1024.0) engine =
   let prm = Param.for_tests ~seg_blocks:16 ~nsegs () in
   let store =
     Device.Blockstore.create ~block_size:prm.Param.block_size
@@ -37,7 +38,7 @@ let make_slow_world ?(streaming = true) ?(chunk = 4) ?(nsegs = 64) ?(cache_segs 
     {
       Device.Jukebox.hp6300_platter with
       Device.Jukebox.media_name = "slow test platter";
-      read_rate = 32.0 *. 1024.0 (* 64 KB segment = 2 s of transfer *);
+      read_rate (* default 32 KB/s: 64 KB segment = 2 s of transfer *);
       write_rate = 512.0 *. 1024.0;
       seek_const = 0.01;
     }
@@ -124,8 +125,9 @@ let test_first_block_histogram () =
 
 (* A media error after the first chunk, with retries disabled: the
    waiter inside the delivered prefix gets its data, the suffix waiter
-   gets Io_error, the line leaves the directory (not poisoned), and a
-   re-read fetches cleanly. *)
+   gets Io_error, and the delivered prefix survives as a Partial cache
+   line — later reads inside the watermark are served from memory, and
+   a read past it re-fetches only the missing tail. *)
 let test_midstream_media_error () =
   let (), e =
     in_sim_e (fun engine ->
@@ -167,11 +169,31 @@ let test_midstream_media_error () =
               | Some b -> Bytes.equal b (Bytes.sub data 0 4096)
               | None -> false);
             check Alcotest.bool "suffix waiter got Io_error" true !suffix_err;
-            check Alcotest.int "failed line evicted, cache not poisoned" 0
+            check Alcotest.int "delivered prefix kept as a partial line" 1
               (Seg_cache.length (Hl.cache hl));
-            (* the op-count fault fired once; a fresh fetch succeeds *)
-            check Alcotest.bool "re-read fetches cleanly" true
+            (match Seg_cache.lines (Hl.cache hl) with
+            | [ l ] ->
+                check Alcotest.bool "partial line: state, watermark, no disk seg" true
+                  (l.Seg_cache.state = Seg_cache.Partial
+                  && l.Seg_cache.valid_blocks >= 4
+                  && l.Seg_cache.disk_seg = -1)
+            | _ -> Alcotest.fail "expected exactly one cache line");
+            (* a never-read block inside the prefix: served from the
+               partial line's image, no new tertiary fetch *)
+            let fetches_before = (Hl.stats hl).Hl.demand_fetches in
+            check Alcotest.bool "prefix re-read served from partial line" true
+              (Bytes.equal (File.read fs ino ~off:4096 ~len:4096) (Bytes.sub data 4096 4096));
+            let s = Hl.stats hl in
+            check Alcotest.int "prefix serve is not a new fetch" fetches_before
+              s.Hl.demand_fetches;
+            check Alcotest.bool "partial serve counted" true (s.Hl.partial_line_serves >= 1);
+            (* the op-count fault fired once; reading past the watermark
+               re-fetches only the missing tail and completes the line *)
+            check Alcotest.bool "re-read past watermark fetches cleanly" true
               (Bytes.equal (File.read fs ino ~off:0 ~len:small_bytes) data);
+            let s = Hl.stats hl in
+            check Alcotest.bool "tail re-fetch moved only the suffix" true
+              (s.Hl.tail_refetch_bytes > 0 && s.Hl.tail_refetch_bytes < 16 * 4096);
             check (Alcotest.list Alcotest.string) "invariants" [] (Hl.check hl);
             Hl.shutdown_service hl))
   in
@@ -180,6 +202,123 @@ let test_midstream_media_error () =
     "no blocked processes" []
     (Sim.Engine.blocked_process_names e);
   check Alcotest.int "blocked count" 0 (Sim.Engine.blocked_processes e)
+
+(* ---------- streaming write-out under faults ---------- *)
+
+(* A media error mid-way through a streaming write-out: the retry
+   rewrites the whole segment from the watermarked staging buffer, the
+   volume ends up consistent, and the staged data reads back verbatim
+   after a real demand fetch. *)
+let test_midwrite_media_error () =
+  let (), e =
+    in_sim_e (fun engine ->
+        with_plan (fun () ->
+            let hl, _fp = make_slow_world engine in
+            let fs = Hl.fs hl in
+            let st = Hl.state hl in
+            let data = bytes_pattern small_bytes 11 in
+            Hl.write_file hl "/a" data;
+            Fs.checkpoint fs;
+            (* streaming write ops are one per 4-block chunk (no
+               pre-transfer check): op=2 tears the first write-out after
+               chunk 1 already landed on the volume *)
+            Sim.Fault.install engine ~metrics:(Hl.metrics hl)
+              (parse_ok "jb:drive* write op=2 media_error transient");
+            st.State.restrict_volume <- Some 0;
+            ignore (Migrator.migrate_paths st [ "/a" ]);
+            st.State.restrict_volume <- None;
+            let s = Hl.stats hl in
+            check Alcotest.bool "the torn chunk was retried" true (s.Hl.io_retries >= 1);
+            check Alcotest.int "no failure surfaced" 0 s.Hl.io_failures;
+            check Alcotest.bool "write-outs completed" true (s.Hl.writeouts >= 1);
+            check (Alcotest.list Alcotest.string) "invariants" [] (Hl.check hl);
+            Hl.eject_tertiary_copies hl ~paths:[ "/a" ];
+            check Alcotest.bool "staged copy reads back verbatim" true
+              (Bytes.equal (Hl.read_file hl "/a" ()) data);
+            Hl.shutdown_service hl))
+  in
+  check
+    (Alcotest.list Alcotest.string)
+    "no blocked processes" []
+    (Sim.Engine.blocked_process_names e)
+
+(* ---------- cost-aware idle readahead ---------- *)
+
+(* While a drive sits idle and a loaded volume holds warm uncached
+   segments, the idle daemon stages them speculatively; the moment
+   demand work arrives, still-queued idle prefetches are preempted.
+   Idle outcomes never leak into the adaptive-prefetch accuracy. *)
+let test_idle_readahead_issue_and_preempt () =
+  let (), e =
+    in_sim_e (fun engine ->
+        (* 8 KB/s: a segment fetch holds its volume claim for 8 s, so
+           the demand below reliably arrives while the queued idle hint
+           is still waiting behind the claim *)
+        let hl, _fp = make_slow_world ~read_rate:(8.0 *. 1024.0) engine in
+        let fs = Hl.fs hl in
+        let st = Hl.state hl in
+        let a = bytes_pattern small_bytes 3
+        and b = bytes_pattern small_bytes 5
+        and c = bytes_pattern small_bytes 7 in
+        (* separate migrations so each file owns its tertiary segment:
+           /a and /b share volume 0, /c lives alone on volume 1 *)
+        stage_out hl "/a" a ~vol:0;
+        stage_out hl "/b" b ~vol:0;
+        stage_out hl "/c" c ~vol:1;
+        (* warm everything once — this loads volume 0 and volume 1 into
+           the two drives and caches the inodes in core — then drop the
+           cached lines so only the heat survives *)
+        check Alcotest.bool "/a warmed" true (Bytes.equal (Hl.read_file hl "/a" ()) a);
+        check Alcotest.bool "/b warmed" true (Bytes.equal (Hl.read_file hl "/b" ()) b);
+        check Alcotest.bool "/c warmed" true (Bytes.equal (Hl.read_file hl "/c" ()) c);
+        Sim.Engine.delay 30.0;
+        Hl.eject_tertiary_copies hl ~paths:[ "/a"; "/b"; "/c" ];
+        (* make /b's segment the unambiguous idle candidate *)
+        let tb =
+          let ino = Dir.namei fs "/b" in
+          Addr_space.tindex_of_addr st.State.aspace (Fs.lookup_addr fs ino (Bkey.Data 0))
+        in
+        Obs.Heat.touch st.State.heat ~now:(Sim.Engine.now engine) ~weight:100.0 tb;
+        Hl.set_idle_readahead hl true;
+        (* a demand fetch of /a claims volume 0 on one drive; the other
+           worker runs dry, kicking the idle daemon, whose hint for /b's
+           segment queues behind the very claim /a's fetch holds *)
+        let got_a = ref None and got_c = ref None in
+        Sim.Engine.spawn engine ~name:"reader-a" (fun () ->
+            got_a := Some (Hl.read_file hl "/a" ()));
+        Sim.Engine.delay 1.0 (* mid-transfer of /a's segment *);
+        check Alcotest.bool "idle prefetch issued while a drive idles" true
+          ((Hl.stats hl).Hl.idle_prefetches_issued >= 1);
+        (* demand for /c (volume 1) arrives: still-queued idle hints are
+           swept before the new fetch is queued *)
+        Sim.Engine.spawn engine ~name:"reader-c" (fun () ->
+            got_c := Some (Hl.read_file hl "/c" ()));
+        Sim.Engine.delay 60.0;
+        let s = Hl.stats hl in
+        check Alcotest.bool "queued idle prefetch preempted by demand" true
+          (s.Hl.idle_prefetches_preempted >= 1);
+        check Alcotest.bool "/a verbatim" true
+          (match !got_a with Some g -> Bytes.equal g a | None -> false);
+        check Alcotest.bool "/c verbatim" true
+          (match !got_c with Some g -> Bytes.equal g c | None -> false);
+        (* once demand drains, the daemon re-stages the still-warm /b:
+           this read is served without a new demand fetch *)
+        let before = (Hl.stats hl).Hl.demand_fetches in
+        check Alcotest.bool "/b served from idle-prefetched lines" true
+          (Bytes.equal (Hl.read_file hl "/b" ()) b);
+        let s = Hl.stats hl in
+        check Alcotest.int "no new demand fetch for /b" before s.Hl.demand_fetches;
+        check Alcotest.bool "idle hits counted separately" true
+          (Sim.Metrics.count (Sim.Metrics.counter st.State.metrics "idle.used") >= 1);
+        check Alcotest.int "idle outcomes stay out of prefetch accuracy" 0
+          s.Hl.prefetches_used;
+        check (Alcotest.list Alcotest.string) "invariants" [] (Hl.check hl);
+        Hl.shutdown_service hl)
+  in
+  check
+    (Alcotest.list Alcotest.string)
+    "no blocked processes" []
+    (Sim.Engine.blocked_process_names e)
 
 (* ---------- prefetch outcome accounting ---------- *)
 
@@ -391,6 +530,16 @@ let suite =
           test_first_block_histogram;
         Alcotest.test_case "mid-stream media error: prefix served, suffix EIO" `Quick
           test_midstream_media_error;
+      ] );
+    ( "streaming.writeout",
+      [
+        Alcotest.test_case "mid-write media error: retry leaves volume consistent" `Quick
+          test_midwrite_media_error;
+      ] );
+    ( "streaming.idle",
+      [
+        Alcotest.test_case "idle readahead issues, demand preempts" `Quick
+          test_idle_readahead_issue_and_preempt;
       ] );
     ( "streaming.prefetch",
       [
