@@ -314,6 +314,36 @@ let pure_timer_instr ~nprocs ~iters () =
   assert (!live = 0);
   nprocs * iters
 
+(* The same instrumented loop with the flight recorder's ring tracer
+   live (64k-event ring, 1-in-32 sampling — the health plane's
+   always-on configuration): the price of leaving the black box armed
+   must stay inside the same 5% budget as the bare guards. The call
+   site guards with [Trace.keep] rather than [Trace.enabled], the
+   idiom for per-event hot paths: a sampled-out tick never builds its
+   argument list. *)
+let pure_timer_flight ~nprocs ~iters () =
+  let e = Sim.Engine.create ~capacity:(2 * nprocs) () in
+  let fl = Sim.Flight.start ~ring:65536 ~sample:32 e in
+  let live = ref nprocs in
+  for p = 0 to nprocs - 1 do
+    let dt = 0.5 +. (float_of_int (p mod 16) /. 16.0) in
+    let remaining = ref iters in
+    let tm = ref (Sim.Engine.timer e ignore) in
+    let tick () =
+      if Sim.Trace.keep () then
+        Sim.Trace.instant ~cat:"bench" ~args:[ ("i", string_of_int !remaining) ] "tick";
+      Sim.Ledger.charge_active Sim.Ledger.Queue_wait 0.0;
+      decr remaining;
+      if !remaining > 0 then Sim.Engine.arm e !tm ~after:dt else decr live
+    in
+    tm := Sim.Engine.timer e tick;
+    Sim.Engine.arm e !tm ~after:dt
+  done;
+  Sim.Engine.run e;
+  Sim.Flight.stop fl;
+  assert (!live = 0);
+  nprocs * iters
+
 (* ---------- demand-fetch workload (current stack only) ---------- *)
 
 let pattern tag nbytes = Bytes.init nbytes (fun i -> Char.chr ((tag + (i * 31)) land 0xff))
@@ -449,6 +479,7 @@ let run () =
         W_legacy.proc_delay ~nprocs ~iters;
         W_current.condvar_ping ~rounds;
         W_legacy.condvar_ping ~rounds;
+        pure_timer_flight ~nprocs ~iters;
       |]
   in
   let pt_new = group.(0)
@@ -457,7 +488,8 @@ let run () =
   and pd_new = group.(3)
   and pd_old = group.(4)
   and cv_new = group.(5)
-  and cv_old = group.(6) in
+  and cv_old = group.(6)
+  and pt_flight = group.(7) in
   let df = best ~n:2 demand_fetch in
   let row name (s : sample) =
     Printf.printf "  %-24s %10.0f /s   %7.1f minor words/unit   (%d units, %.3fs)\n" name
@@ -466,6 +498,7 @@ let run () =
   row "pure-timer (new)" pt_new;
   row "pure-timer (legacy)" pt_old;
   row "pure-timer (instr off)" pt_instr;
+  row "pure-timer (flight ring)" pt_flight;
   row "proc-delay (new)" pd_new;
   row "proc-delay (legacy)" pd_old;
   row "condvar-ping (new)" cv_new;
@@ -483,6 +516,9 @@ let run () =
     (pt_new.per_sec /. pd_old.per_sec);
   let instr_off_pct = 100.0 *. (median_round_ratio grounds 0 1 -. 1.0) in
   Printf.printf "  instr-off overhead: %.1f%% (median paired round)\n" instr_off_pct;
+  let flight_ring_pct = 100.0 *. (median_round_ratio grounds 0 7 -. 1.0) in
+  Printf.printf "  flight-ring overhead: %.1f%% (median paired round, ring 64k sample 32)\n"
+    flight_ring_pct;
   let oc = open_out "BENCH_engine.json" in
   let fld name (s : sample) =
     Printf.sprintf
@@ -496,6 +532,7 @@ let run () =
          fld "pure_timer" pt_new;
          fld "pure_timer_legacy" pt_old;
          fld "pure_timer_instr_off" pt_instr;
+         fld "pure_timer_flight_ring" pt_flight;
          fld "proc_delay" pd_new;
          fld "proc_delay_legacy" pd_old;
          fld "condvar_ping" cv_new;
@@ -510,6 +547,7 @@ let run () =
     (pd_new.per_sec /. pd_old.per_sec)
     (cv_new.per_sec /. cv_old.per_sec);
   Printf.fprintf oc "  \"instr_off_overhead_pct\": %.2f,\n" instr_off_pct;
+  Printf.fprintf oc "  \"flight_ring_overhead_pct\": %.2f,\n" flight_ring_pct;
   Printf.fprintf oc
     "  \"pre_pr_baseline\": { \"demand_fetch_minor_words_per_fetch\": %.0f, \
      \"soak_wall_s\": %.2f },\n"

@@ -26,6 +26,7 @@ type run = {
   prefetches_dropped : int;
   overlap : float;
   swaps : int;
+  alerts : int;  (* health-plane alerts: a clean scenario must fire none *)
   (* class -> blame-ranked (category, seconds): why the elapsed time *)
   mutable attribution : (string * (string * float) list) list;
 }
@@ -65,6 +66,15 @@ let run_mode label io_mode =
       (* attribute only the measured phase: the setup writeouts above
          are not what the serial-vs-pipelined comparison is about *)
       Sim.Ledger.install ~metrics:(Highlight.Hl.metrics hl) engine;
+      (* clean scenario under the same SLO as the faulty bench: the
+         health plane must stay silent here *)
+      let health =
+        match Obs.Health.parse "fetch_p99: demand_fetch.p99 < 40s\nerr: error_rate < 1%\n" with
+        | Error msg -> failwith ("pipeline bench: bad SLO: " ^ msg)
+        | Ok objectives ->
+            Obs.Health.install ~quiet:true ~metrics:(Highlight.Hl.metrics hl) engine
+              objectives
+      in
       let swaps0 = Footprint.swaps fp in
       let t0 = Sim.Engine.now engine in
       let done_cv = Sim.Condvar.create () in
@@ -91,6 +101,7 @@ let run_mode label io_mode =
       let s = Highlight.Hl.stats hl in
       Config.harvest_metrics (Highlight.Hl.metrics hl);
       Highlight.Hl.shutdown_service hl;
+      Obs.Health.stop health;
       {
         elapsed;
         ok = !ok;
@@ -98,6 +109,7 @@ let run_mode label io_mode =
         prefetches_dropped = s.Highlight.Hl.prefetches_dropped;
         overlap = s.Highlight.Hl.io_overlap;
         swaps = Footprint.swaps fp - swaps0;
+        alerts = List.length (Obs.Health.alerts health);
         attribution = [];
       })
   in
@@ -132,6 +144,9 @@ let run () =
   let speedup = if piped.elapsed > 0.0 then serial.elapsed /. piped.elapsed else 0.0 in
   Printf.printf "  speedup: %.2fx (target >= 1.4x)  [%s]\n" speedup
     (if speedup >= 1.4 && serial.ok && piped.ok then "ok" else "FAIL");
+  Printf.printf "  health plane: %d alert(s) on the clean scenario (must be 0)  [%s]\n"
+    (serial.alerts + piped.alerts)
+    (if serial.alerts = 0 && piped.alerts = 0 then "ok" else "FAIL");
   let dom r = Config.dominant_wait r.attribution "demand_fetch" in
   Printf.printf
     "  dominant demand-fetch wait: serial=%s (expect queue_wait: every request stacks\n\

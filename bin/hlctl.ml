@@ -207,6 +207,55 @@ let print_profile () =
     (Sim.Ledger.summary ());
   Util.Tablefmt.print t
 
+(* [--slo] accepts a file or the DSL inline, like [--faults]. *)
+let read_slo_spec spec =
+  let text =
+    if Sys.file_exists spec then In_channel.with_open_text spec In_channel.input_all
+    else spec
+  in
+  match Obs.Health.parse text with
+  | Ok [] ->
+      Printf.eprintf "invalid --slo: no objectives in %S\n" spec;
+      exit 1
+  | Ok objs -> objs
+  | Error msg ->
+      Printf.eprintf "invalid --slo: %s\n" msg;
+      exit 1
+
+(* [--health-report] compliance table: one row per objective with the
+   cumulative observed value, the final fast/slow burn rates, the worst
+   slow-window burn of the run, and the alert count. *)
+let print_health_report health =
+  let t =
+    Util.Tablefmt.create ~title:"SLO compliance"
+      ~header:[ "objective"; "spec"; "value"; "burn fast"; "burn slow"; "worst"; "alerts"; "status" ]
+  in
+  List.iter
+    (fun (r : Obs.Health.report) ->
+      Util.Tablefmt.add_row t
+        [
+          r.Obs.Health.r_name;
+          r.Obs.Health.r_spec;
+          Printf.sprintf "%.3g" r.Obs.Health.r_value;
+          Printf.sprintf "%.2fx" r.Obs.Health.r_burn_fast;
+          Printf.sprintf "%.2fx" r.Obs.Health.r_burn_slow;
+          Printf.sprintf "%.2fx" r.Obs.Health.r_worst_burn;
+          string_of_int r.Obs.Health.r_alerts;
+          (if r.Obs.Health.r_ok then "ok" else "BREACH");
+        ])
+    (Obs.Health.compliance health);
+  Util.Tablefmt.print t;
+  match Obs.Health.alerts health with
+  | [] -> Printf.printf "alerts fired: none\n"
+  | alerts ->
+      Printf.printf "alerts fired: %d\n" (List.length alerts);
+      List.iter
+        (fun (a : Obs.Health.alert) ->
+          Printf.printf "  t=%-8.0f %-18s %-24s %s\n" a.Obs.Health.a_at a.Obs.Health.a_kind
+            a.Obs.Health.a_name a.Obs.Health.a_detail;
+          Option.iter (fun p -> Printf.printf "  %10s black box: %s\n" "" p) a.Obs.Health.a_bundle)
+        alerts
+
 (* [--decisions] / [--shadow] post-run report: the observatory SLIs, the
    per-policy breakdowns, and the counterfactual scoreboard of every
    shadow policy — the "policy X would have recalled 38% fewer bytes"
@@ -290,20 +339,39 @@ let print_observatory shadows =
 
 let simulate nsegs nvolumes seg_blocks media files file_kb policy verbose trace_file
     metrics_file faults readahead idle_readahead profile snapshots_file snapshot_period
-    gc_stats decisions_file shadow_spec decision_window =
+    gc_stats decisions_file shadow_spec decision_window slo_spec slo_strict health_report
+    blackbox_dir =
   (* the profile and snapshot files are written after [in_sim] returns:
      shutdown only drains the queues — in-flight transfers finish on
      their own sim time, and their ledgers close after the main process
      has already exited *)
   let sampler = ref None in
+  let health = ref None in
+  let flight = ref None in
   let code =
     with_gc_stats gc_stats @@ fun () ->
     in_sim (fun engine ->
       let tracer = Option.map (fun _ -> Sim.Trace.start engine) trace_file in
       let fault_plan = Option.map read_fault_plan faults in
       let hl, jukebox = build_world engine ~nsegs ~nvolumes ~seg_blocks ~media in
-      if profile <> None then
+      if profile <> None || slo_spec <> None then
         Sim.Ledger.install ~metrics:(Highlight.Hl.metrics hl) engine;
+      (* the health plane: flight-recorder ring (shares the full tracer
+         when --trace is also given), SLO burn-rate engine, watchdogs *)
+      Option.iter
+        (fun spec ->
+          let objectives = read_slo_spec spec in
+          let fl = Sim.Flight.start ~dir:blackbox_dir engine in
+          flight := Some fl;
+          health :=
+            Some
+              (Obs.Health.install ~flight:fl ~metrics:(Highlight.Hl.metrics hl) engine objectives))
+        slo_spec;
+      (* every unrecorded trace event (buffer drop or sampled out) now
+         counts in the trace.dropped metric *)
+      Option.iter
+        (fun tr -> Sim.Trace.attach_metrics tr (Highlight.Hl.metrics hl))
+        (Sim.Trace.current ());
       (* arm the decision observatory (and its shadows) before any
          migration or eviction decision can fire *)
       let obs_on = decisions_file <> None || shadow_spec <> None in
@@ -445,6 +513,8 @@ let simulate nsegs nvolumes seg_blocks media files file_kb policy verbose trace_
         print_string (Highlight.Hl_debug.render_hierarchy hl)
       end;
       Highlight.Hl.shutdown_service hl;
+      Option.iter Obs.Health.stop !health;
+      Option.iter Sim.Flight.stop !flight;
       Option.iter Sim.Snapshot.stop !sampler;
       Option.iter
         (fun path ->
@@ -487,7 +557,27 @@ let simulate nsegs nvolumes seg_blocks media files file_kb policy verbose trace_
       Printf.printf "snapshots: %d samples (every %.0fs) -> %s\n"
         (Sim.Snapshot.length s) (Sim.Snapshot.period s) path)
     snapshots_file;
-  code
+  match !health with
+  | None -> code
+  | Some h ->
+      print_newline ();
+      if health_report then print_health_report h
+      else
+        Printf.printf "health: %d ticks, %d alert(s)\n" (Obs.Health.ticks h)
+          (List.length (Obs.Health.alerts h));
+      if profile = None then Sim.Ledger.uninstall ();
+      let breaches = Obs.Health.breached h in
+      if slo_strict && breaches <> [] then begin
+        List.iter
+          (fun (r : Obs.Health.report) ->
+            Printf.eprintf
+              "slo-strict: %s breached (%s): %d alert(s), worst slow-window burn %.2fx\n"
+              r.Obs.Health.r_name r.Obs.Health.r_spec r.Obs.Health.r_alerts
+              r.Obs.Health.r_worst_burn)
+          breaches;
+        if code = 0 then 4 else code
+      end
+      else code
 
 (* ---- fsck ---- *)
 
@@ -632,6 +722,33 @@ let decision_window_t =
            ~doc:"Sim-seconds after a demotion/eviction during which a re-access \
                  counts as a mistake/regret (with --decisions/--shadow).")
 
+let slo_t =
+  Arg.(value & opt (some string) None
+       & info [ "slo" ] ~docv:"SPEC"
+           ~doc:"Install the runtime health plane: SPEC is an SLO file or inline DSL \
+                 (one objective per line, e.g. 'fetch_p99: demand_fetch.p99 < 40s'; \
+                 metrics: error_rate, rate:bad/good, <hist>.pNN, \
+                 <class>.<category>_frac; options burn=, fast=, slow=). Objectives \
+                 are watched over fast/slow sliding windows with burn-rate alerting; \
+                 every alert dumps a black-box bundle.")
+
+let slostrict_t =
+  Arg.(value & flag
+       & info [ "slo-strict" ]
+           ~doc:"Exit non-zero (4) if any SLO fired an alert during the run, naming \
+                 the breaching objective and its burn rate (with --slo).")
+
+let healthreport_t =
+  Arg.(value & flag
+       & info [ "health-report" ]
+           ~doc:"Print the SLO compliance table and every alert fired, with black-box \
+                 bundle paths (with --slo).")
+
+let blackbox_t =
+  Arg.(value & opt string "blackbox"
+       & info [ "blackbox" ] ~docv:"DIR"
+           ~doc:"Directory for flight-recorder black-box bundles (with --slo).")
+
 let readahead_t =
   Arg.(value & opt string "none"
        & info [ "readahead" ] ~docv:"POLICY"
@@ -677,13 +794,14 @@ let () =
               Term.(const (fun lvl a b c -> setup_logs lvl; layout a b c)
                     $ log_t $ nsegs_t $ nvols_t $ segblocks_t);
             Cmd.v (Cmd.info "simulate" ~doc:"Run a write/migrate/fetch scenario")
-              Term.(const (fun lvl a b c d e f g h i j k l m n o p q r s t ->
+              Term.(const (fun lvl a b c d e f g h i j k l m n o p q r s t u v w x ->
                         setup_logs lvl;
-                        simulate a b c d e f g h i j k l m n o p q r s t)
+                        simulate a b c d e f g h i j k l m n o p q r s t u v w x)
                     $ log_t $ nsegs_t $ nvols_t $ segblocks_t $ media_t $ files_t $ filekb_t
                     $ policy_t $ verbose_t $ trace_t $ metrics_t $ faults_t $ readahead_t
                     $ idle_readahead_t $ profile_t $ snapshots_t $ snapshot_period_t
-                    $ gcstats_t $ decisions_t $ shadow_t $ decision_window_t);
+                    $ gcstats_t $ decisions_t $ shadow_t $ decision_window_t
+                    $ slo_t $ slostrict_t $ healthreport_t $ blackbox_t);
             Cmd.v (Cmd.info "grow" ~doc:"Demonstrate on-line disk addition (dead-zone claiming)")
               Term.(const (fun lvl a b c d -> setup_logs lvl; grow a b c d)
                     $ log_t $ nsegs_t $ nvols_t $ segblocks_t

@@ -476,6 +476,8 @@ let fetch_read st ctx =
                     ~chunk:st.stream_chunk_blocks ~off:start ~dst:image ~dst_off:0
                     (fun ~off ~blocks ->
                       Sim.Ledger.mark_first_block line.Seg_cache.ledger;
+                      if Obs.Health.enabled () then
+                        Obs.Health.worker_beat (Sim.Engine.current_name st.engine);
                       if off <= line.Seg_cache.valid_blocks then begin
                         line.Seg_cache.valid_blocks <-
                           max line.Seg_cache.valid_blocks (off + blocks);
@@ -684,6 +686,8 @@ let writeout_stream_write st ctx ws =
                       | Some msg -> raise (Stream_aborted msg)
                       | None -> ())
                     (fun ~off ~blocks ->
+                      if Obs.Health.enabled () then
+                        Obs.Health.worker_beat (Sim.Engine.current_name st.engine);
                       st.on_writeout_chunk line.Seg_cache.tindex (off + blocks)))))
     with
     | exception Stream_aborted msg -> Error msg
@@ -1004,11 +1008,22 @@ let spawn_pipelined st =
      so one worker per drive keeps every drive busy without more policy *)
   let nworkers = max 1 (Footprint.ndrives st.fp) in
   for i = 0 to nworkers - 1 do
-    Sim.Engine.spawn st.engine ~name:(Printf.sprintf "hl-io-tert%d" i) (fun () ->
+    let wname = Printf.sprintf "hl-io-tert%d" i in
+    (* Heartbeats for the health plane's progress watchdog: busy at job
+       claim, idle at completion; streamed chunks beat in between. A
+       wedged drive (Fault hang) stops beating mid-job, which is
+       exactly the signature the watchdog looks for. *)
+    let busy vol what =
+      if Obs.Health.enabled () then
+        Obs.Health.worker_busy wname (Printf.sprintf "%s vol%d" what vol)
+    in
+    let idle () = if Obs.Health.enabled () then Obs.Health.worker_idle wname in
+    Sim.Engine.spawn st.engine ~name:wname (fun () ->
         let rec loop () =
           match tq_pop st tq with
-          | None -> ()
+          | None -> idle ()
           | Some (vol, T_fetch_read ctx) ->
+              busy vol "fetch";
               let result = fetch_read st ctx in
               tq_release tq vol;
               (match result with
@@ -1018,14 +1033,18 @@ let spawn_pipelined st =
                   dq_push st dq ~urgent:ctx.f_urgent (D_fetch_write (ctx, image))
               | Ok _ -> fail_fetch st ctx.f_line "service stopped"
               | Error msg -> fail_fetch st ctx.f_line msg);
+              idle ();
               loop ()
           | Some (vol, T_writeout_write (ctx, image)) ->
+              busy vol "writeout";
               (match writeout_write st ctx image with
               | Ok () -> ()
               | Error msg -> fail_writeout st ctx msg);
               tq_release tq vol;
+              idle ();
               loop ()
           | Some (vol, T_writeout_stream ctx) ->
+              busy vol "writeout-stream";
               (match ctx.w_stream with
               | Some ws -> (
                   match writeout_stream_write st ctx ws with
@@ -1033,21 +1052,29 @@ let spawn_pipelined st =
                   | Error msg -> fail_writeout st ctx msg)
               | None -> fail_writeout st ctx "stream context missing");
               tq_release tq vol;
+              idle ();
               loop ()
         in
         loop ())
   done;
+  let dbusy what = if Obs.Health.enabled () then Obs.Health.worker_busy "hl-io-disk" what in
+  let didle () = if Obs.Health.enabled () then Obs.Health.worker_idle "hl-io-disk" in
   Sim.Engine.spawn st.engine ~name:"hl-io-disk" (fun () ->
       let rec loop () =
         match dq_pop st dq with
-        | None -> ()
+        | None -> didle ()
         | Some (D_fetch_write (ctx, image)) ->
+            dbusy "fetch-land";
             (match fetch_write st ctx image with
             | Ok () -> ()
             | Error msg -> fail_fetch st ctx.f_line msg);
+            didle ();
             loop ()
         | Some (D_writeout_read ctx) -> (
-            match writeout_read st ctx with
+            dbusy "writeout-stage";
+            let r = writeout_read st ctx in
+            didle ();
+            match r with
             | Ok image when not st.stop_service ->
                 tq_push_writeout st tq (T_writeout_write (ctx, image));
                 loop ()
@@ -1058,9 +1085,11 @@ let spawn_pipelined st =
                 fail_writeout st ctx msg;
                 loop ())
         | Some (D_writeout_stream ctx) ->
+            dbusy "writeout-stream-stage";
             (match ctx.w_stream with
             | Some ws -> writeout_stream_read st ctx ws
             | None -> fail_writeout st ctx "stream context missing");
+            didle ();
             loop ()
       in
       loop ());

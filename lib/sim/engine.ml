@@ -9,6 +9,7 @@ type t = {
   mutable running_pid : int;
   mutable running_name : string;
   mutable events_retired : int;
+  mutable drain_watcher : (string list -> unit) option;
 }
 
 type _ Effect.t +=
@@ -24,10 +25,12 @@ let create ?capacity () =
     running_pid = -1;
     running_name = "";
     events_retired = 0;
+    drain_watcher = None;
   }
 
 let now t = t.clock.Eventq.time
 let events_retired t = t.events_retired
+let pending_events t = Eventq.length t.q
 
 (* Reusing the caller's float box when the clamp is a no-op keeps the
    common delay path down to the effect payload itself. *)
@@ -140,10 +143,27 @@ let step t =
     t.running_name <- ""
   end
 
+let blocked_processes t = Hashtbl.length t.blocked
+
+let blocked_process_names t =
+  Hashtbl.fold (fun _ name acc -> name :: acc) t.blocked [] |> List.sort String.compare
+
+let set_drain_watcher t w = t.drain_watcher <- w
+
 let run t =
   let q = t.q in
   while not (Eventq.is_empty q) do
-    step t
+    step t;
+    (* A drained queue with parked processes is a deadlock about to be
+       silently abandoned; give the health plane one chance to observe
+       it (and possibly schedule diagnostics) before [run] returns. *)
+    if Eventq.is_empty q && Hashtbl.length t.blocked > 0 then begin
+      match t.drain_watcher with
+      | None -> ()
+      | Some w ->
+          t.drain_watcher <- None;
+          w (blocked_process_names t)
+    end
   done
 
 let run_until t limit =
@@ -156,8 +176,3 @@ let run_until t limit =
      done
    with Beyond -> ());
   if t.clock.Eventq.time < limit then t.clock.Eventq.time <- limit
-
-let blocked_processes t = Hashtbl.length t.blocked
-
-let blocked_process_names t =
-  Hashtbl.fold (fun _ name acc -> name :: acc) t.blocked [] |> List.sort String.compare

@@ -91,3 +91,18 @@ val blocked_process_names : t -> string list
 val events_retired : t -> int
 (** Total events executed by [run]/[run_until] since [create] — the
     denominator for events/sec and words/event measurements. *)
+
+val pending_events : t -> int
+(** Events currently queued. From inside a scheduler callback this
+    excludes the event being executed, so a periodic tick observing 0
+    pending with {!blocked_processes} > 0 knows it alone is keeping the
+    simulation alive — the deadlock signature the health plane's stall
+    detector keys on. *)
+
+val set_drain_watcher : t -> (string list -> unit) option -> unit
+(** Installs (or clears) a callback invoked by {!run} the first time the
+    event queue drains while suspended processes remain — the moment a
+    deadlock would otherwise end the run silently. The watcher receives
+    {!blocked_process_names} and is disarmed before it runs (it fires at
+    most once per installation); it may schedule further events, which
+    [run] will then execute. *)

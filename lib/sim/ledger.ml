@@ -83,6 +83,7 @@ type registry = {
   mutable next_id : int;
   active : (string, t * category option) Hashtbl.t; (* process name -> (ledger, redirect) *)
   aggs : (string, agg) Hashtbl.t;
+  opens : (int, t) Hashtbl.t; (* in-flight ledgers, for watchdogs/flight dumps *)
   mutable open_count : int;
 }
 
@@ -98,6 +99,7 @@ let install ?metrics engine =
         next_id = 0;
         active = Hashtbl.create 16;
         aggs = Hashtbl.create 8;
+        opens = Hashtbl.create 32;
         open_count = 0;
       }
 
@@ -117,14 +119,18 @@ let open_request ~kind =
       let id = r.next_id in
       r.next_id <- id + 1;
       r.open_count <- r.open_count + 1;
-      {
-        l_id = id;
-        l_kind = kind;
-        l_opened = Engine.now r.engine;
-        charges = Array.make ncats 0.0;
-        first_block = -1.0;
-        closed = false;
-      }
+      let l =
+        {
+          l_id = id;
+          l_kind = kind;
+          l_opened = Engine.now r.engine;
+          charges = Array.make ncats 0.0;
+          first_block = -1.0;
+          closed = false;
+        }
+      in
+      Hashtbl.replace r.opens id l;
+      l
 
 let id l = l.l_id
 let kind l = l.l_kind
@@ -173,7 +179,11 @@ let agg r kind =
 let drop l =
   if is_real l && not l.closed then begin
     l.closed <- true;
-    match !installed with None -> () | Some r -> r.open_count <- r.open_count - 1
+    match !installed with
+    | None -> ()
+    | Some r ->
+        r.open_count <- r.open_count - 1;
+        Hashtbl.remove r.opens l.l_id
   end
 
 let hist_name kind what = Printf.sprintf "ledger.%s.%s" kind what
@@ -185,6 +195,7 @@ let close l =
     | None -> ()
     | Some r ->
         r.open_count <- r.open_count - 1;
+        Hashtbl.remove r.opens l.l_id;
         let a = agg r l.l_kind in
         a.a_requests <- a.a_requests + 1;
         let e2e = Engine.now r.engine -. l.l_opened in
@@ -315,6 +326,14 @@ let summary () =
              })
 
 let open_requests () = match !installed with None -> 0 | Some r -> r.open_count
+
+let iter_open f =
+  match !installed with
+  | None -> ()
+  | Some r ->
+      Hashtbl.fold (fun _ l acc -> l :: acc) r.opens []
+      |> List.sort (fun a b -> Int.compare a.l_id b.l_id)
+      |> List.iter f
 let wall () = match !installed with None -> 0.0 | Some r -> Engine.now r.engine
 
 let to_json () =

@@ -113,6 +113,12 @@ val summary : unit -> class_summary list
     [] when not installed. *)
 
 val open_requests : unit -> int
+
+val iter_open : (t -> unit) -> unit
+(** Visits every in-flight (opened, not yet closed/dropped) ledger in
+    id order — the deadline watchdog's scan and the flight recorder's
+    open-request dump. *)
+
 val wall : unit -> float
 
 val to_json : unit -> string

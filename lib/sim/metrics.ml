@@ -80,7 +80,9 @@ let observe h x =
   | i -> h.buckets.(i) <- h.buckets.(i) + 1
 
 let observations h = Stats.count h.welford
+let bucket_count h i = if i < 0 then h.underflow else h.buckets.(i)
 let hist_mean h = Stats.mean h.welford
+let hist_sum h = Stats.mean h.welford *. float_of_int (Stats.count h.welford)
 let hist_stddev h = Stats.stddev h.welford
 let hist_min h = Stats.min_value h.welford
 let hist_max h = Stats.max_value h.welford

@@ -42,6 +42,18 @@ val histogram : t -> ?base:float -> string -> histogram
 val observe : histogram -> float -> unit
 val observations : histogram -> int
 val hist_mean : histogram -> float
+
+val hist_sum : histogram -> float
+(** Sum of all observations ([mean * count]). *)
+
+val nbuckets : int
+
+val bucket_count : histogram -> int -> int
+(** Observations in bucket [i] ([-1] = underflow). With {!nbuckets} and
+    {!bucket_lo} this exposes the raw distribution, letting a consumer
+    snapshot cumulative bucket counts and difference them into sliding
+    windows (the SLO engine's over-threshold counts). *)
+
 val hist_stddev : histogram -> float
 val hist_min : histogram -> float
 val hist_max : histogram -> float

@@ -20,10 +20,14 @@ type t = {
   proc : unit -> string;
   limit : int;
   sample : int; (* record 1 in [sample] spans/instants *)
+  ring : bool; (* full buffer evicts oldest instead of dropping newest *)
   mutable tick : int;
+  mutable preadmitted : bool; (* {!keep} already spent a sampling slot *)
   mutable events : event list; (* newest first *)
   mutable n : int;
   mutable dropped : int;
+  mutable evicted : int;
+  mutable drop_counter : Metrics.counter option;
   mutable next_id : int;
   asyncs : (int, string * string) Hashtbl.t; (* open async id -> (name, cat) *)
 }
@@ -34,18 +38,23 @@ type t = {
    tracing is off. *)
 let installed : t option ref = ref None
 
-let start ?(limit = 2_000_000) ?(sample = 1) engine =
+let start ?(limit = 2_000_000) ?(sample = 1) ?(ring = false) engine =
   if sample < 1 then invalid_arg "Trace.start: sample must be >= 1";
+  if limit < 1 then invalid_arg "Trace.start: limit must be >= 1";
   let tr =
     {
       clock = (fun () -> Engine.now engine);
       proc = (fun () -> Engine.current_name engine);
       limit;
       sample;
+      ring;
       tick = 0;
+      preadmitted = false;
       events = [];
       n = 0;
       dropped = 0;
+      evicted = 0;
+      drop_counter = None;
       next_id = 0;
       asyncs = Hashtbl.create 32;
     }
@@ -61,12 +70,33 @@ let current () = !installed
 let enabled () = match !installed with None -> false | Some _ -> true
 let event_count t = t.n
 let dropped t = t.dropped
+let evicted t = t.evicted
+let attach_metrics tr m = tr.drop_counter <- Some (Metrics.counter m "trace.dropped")
+
+let note_unrecorded tr =
+  match tr.drop_counter with None -> () | Some c -> Metrics.incr c
+
+(* Ring eviction is amortized: let the buffer grow to 2*limit, then keep
+   the newest [limit] in one O(limit) pass, so steady state is O(1) per
+   event and never holds more than twice the budget. *)
+let truncate_ring tr =
+  let rec keep acc k = function
+    | ev :: rest when k > 0 -> keep (ev :: acc) (k - 1) rest
+    | _ -> List.rev acc
+  in
+  tr.evicted <- tr.evicted + (tr.n - tr.limit);
+  tr.events <- keep [] tr.limit tr.events;
+  tr.n <- tr.limit
 
 let add tr ev =
-  if tr.n >= tr.limit then tr.dropped <- tr.dropped + 1
+  if tr.n >= tr.limit && not tr.ring then begin
+    tr.dropped <- tr.dropped + 1;
+    note_unrecorded tr
+  end
   else begin
     tr.events <- ev :: tr.events;
-    tr.n <- tr.n + 1
+    tr.n <- tr.n + 1;
+    if tr.ring && tr.n >= 2 * tr.limit then truncate_ring tr
   end
 
 let resolve_track tr = function Some track -> track | None -> tr.proc ()
@@ -75,17 +105,37 @@ let resolve_track tr = function Some track -> track | None -> tr.proc ()
    counters). Async lifecycles are never sampled: dropping a begin
    orphans its end, and they are orders of magnitude rarer. *)
 let sampled tr =
-  tr.sample = 1
-  ||
-  let k = tr.tick + 1 in
-  if k >= tr.sample then begin
-    tr.tick <- 0;
+  if tr.preadmitted then begin
+    tr.preadmitted <- false;
     true
   end
-  else begin
-    tr.tick <- k;
-    false
-  end
+  else
+    tr.sample = 1
+    ||
+    let k = tr.tick + 1 in
+    if k >= tr.sample then begin
+      tr.tick <- 0;
+      true
+    end
+    else begin
+      tr.tick <- k;
+      note_unrecorded tr;
+      false
+    end
+
+(* Hot-path pre-check: spends the sampling slot before the caller has
+   built any event arguments, so a sampled-out event costs two loads
+   and a branch instead of an allocation. A [true] result pre-admits
+   the caller's next span/instant/counter. *)
+let keep () =
+  match !installed with
+  | None -> false
+  | Some tr ->
+      if sampled tr then begin
+        tr.preadmitted <- true;
+        true
+      end
+      else false
 
 let instant ?track ?(cat = "") ?(args = []) name =
   match !installed with
@@ -186,8 +236,9 @@ let add_args b args =
 (* Simulated seconds -> trace microseconds. *)
 let usecs ts = ts *. 1e6
 
-let export t =
-  let events = List.stable_sort (fun a b -> Float.compare a.ts b.ts) (List.rev t.events) in
+let export ?since t =
+  let kept = match since with None -> t.events | Some t0 -> List.filter (fun ev -> ev.ts >= t0) t.events in
+  let events = List.stable_sort (fun a b -> Float.compare a.ts b.ts) (List.rev kept) in
   (* tracks become Chrome "threads" of one process, named via metadata
      events, tids assigned in order of first appearance *)
   let tids = Hashtbl.create 16 in
@@ -233,7 +284,7 @@ let export t =
   Buffer.add_string b "\n]\n";
   Buffer.contents b
 
-let write_file t path =
+let write_file ?since t path =
   let oc = open_out path in
-  output_string oc (export t);
+  output_string oc (export ?since t);
   close_out oc

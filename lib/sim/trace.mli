@@ -16,22 +16,50 @@
 
 type t
 
-val start : ?limit:int -> ?sample:int -> Engine.t -> t
+val start : ?limit:int -> ?sample:int -> ?ring:bool -> Engine.t -> t
 (** Creates a tracer clocked by [engine]'s virtual time and installs it
     as the ambient tracer. [limit] (default 2M) bounds the number of
     buffered events; beyond it events are counted in {!dropped} rather
     than stored. [sample] (default 1 = record everything) keeps 1 in
     [sample] of the high-volume event kinds — spans, instants,
     counters — for long runs where full tracing is too heavy; async
-    lifecycles are always recorded so no end is orphaned. *)
+    lifecycles are always recorded so no end is orphaned. [ring]
+    (default false) turns the buffer into a flight-recorder ring: at
+    capacity the {e oldest} events are evicted (counted in {!evicted},
+    not {!dropped}) so the buffer always holds the most recent [limit]
+    events. Eviction is amortized — the buffer briefly holds up to
+    [2*limit] events between truncations. *)
 
 val stop : unit -> unit
 (** Uninstalls the ambient tracer (the buffer survives for {!export}). *)
 
 val current : unit -> t option
 val enabled : unit -> bool
+
+val keep : unit -> bool
+(** Hot-path sampling pre-check: [false] when tracing is off or the
+    sampling counter throws the next high-volume event away, [true]
+    when it will be recorded — in which case that event is
+    {e pre-admitted} and the caller must emit exactly one
+    span/instant/counter next. Guarding with [keep] instead of
+    {!enabled} lets a per-event call site skip building its argument
+    list for sampled-out events, which is what keeps an always-on
+    flight-recorder ring affordable on paths that fire millions of
+    times per run. A sampled-out call still counts toward
+    [trace.dropped]. *)
+
 val event_count : t -> int
 val dropped : t -> int
+
+val evicted : t -> int
+(** Events aged out of a [~ring:true] buffer; 0 otherwise. *)
+
+val attach_metrics : t -> Metrics.t -> unit
+(** Registers a [trace.dropped] counter in the given registry and bumps
+    it for every event this tracer does not record — buffer-limit drops
+    and sampled-out events alike (ring evictions were recorded, so they
+    do not count). Attachable after {!start}, since tracers usually
+    outlive the metrics registry creation. *)
 
 val span : ?track:string -> ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
 (** [span name f] runs [f] and records a complete ("X") event covering
@@ -64,8 +92,10 @@ val absorb : t -> offset:float -> t -> unit
     separate engines (each starting at virtual time 0) into one
     timeline. *)
 
-val export : t -> string
+val export : ?since:float -> t -> string
 (** Chrome trace-event JSON (array format), events sorted by timestamp,
-    tracks named via thread_name metadata. *)
+    tracks named via thread_name metadata. [since] keeps only events
+    stamped at or after the given virtual time — the flight recorder's
+    "last N seconds" cut. *)
 
-val write_file : t -> string -> unit
+val write_file : ?since:float -> t -> string -> unit

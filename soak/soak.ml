@@ -10,6 +10,13 @@
    SOAK_snapshots.csv — the view that shows a slow leak or a queue
    ratchet which the end-of-run totals would average away.
 
+   The health plane rides along with lenient SLOs (latency far above
+   anything a healthy soak produces, error rate < 1%): its
+   slo.<name>.burn_fast/burn_slow/ok gauges land in the same CSV, so
+   every snapshot row carries the per-window compliance timeline. A
+   sustained burn — any objective actually firing — fails the run
+   with exit 4.
+
      dune exec soak/soak.exe [seed] [--gc-stats] *)
 
 open Lfs
@@ -26,6 +33,7 @@ let () =
   let engine = Sim.Engine.create () in
   let result = ref None in
   let sampler = ref None in
+  let health = ref None in
   Sim.Engine.spawn engine (fun () ->
       let prm = { Soak_config.paper_prm with Param.nsegs = 24; max_inodes = 1024 } in
       let disk = Device.Disk.create engine Device.Disk.rz57 ~name:"rz57" in
@@ -38,6 +46,18 @@ let () =
       sampler :=
         Some
           (Sim.Snapshot.start engine ~metrics:(Highlight.Hl.metrics hl) ~period:600.0 ());
+      (* Lenient objectives: a healthy soak sits far inside both
+         budgets, so a firing here is a real regression, not noise. *)
+      (match
+         Obs.Health.parse "fetch_p99: demand_fetch.p99 < 600s\nerr: error_rate < 1%\n"
+       with
+      | Error e ->
+          Printf.eprintf "soak: bad built-in SLOs: %s\n" e;
+          exit 2
+      | Ok objectives ->
+          health :=
+            Some
+              (Obs.Health.install ~metrics:(Highlight.Hl.metrics hl) engine objectives));
       let fs = Highlight.Hl.fs hl in
       let st = Highlight.Hl.state hl in
       ignore (Dir.mkdir fs "/archive");
@@ -94,6 +114,8 @@ let () =
            Printf.eprintf "CORRUPT at end:\n";
            List.iter (fun p -> Printf.eprintf "  %s\n" p) probs;
            exit 2);
+      Highlight.Hl.shutdown_service hl;
+      Obs.Health.stop (Option.get !health);
       Sim.Snapshot.stop (Option.get !sampler);
       result := Some ());
   Sim.Engine.run engine;
@@ -103,6 +125,24 @@ let () =
       Printf.printf "snapshots: %d samples (every %.0fs) -> SOAK_snapshots.csv\n"
         (Sim.Snapshot.length s) (Sim.Snapshot.period s)
   | None -> ());
+  (match !health with
+  | None -> ()
+  | Some h ->
+      let breached = Obs.Health.breached h in
+      Printf.printf "health: %d ticks, %d alert(s), %d/%d objectives ok\n"
+        (Obs.Health.ticks h)
+        (List.length (Obs.Health.alerts h))
+        (List.length (Obs.Health.compliance h) - List.length breached)
+        (List.length (Obs.Health.compliance h));
+      if breached <> [] then begin
+        List.iter
+          (fun r ->
+            Printf.eprintf "SUSTAINED BURN: %s (%s): %d alert(s), worst burn %.2fx\n"
+              r.Obs.Health.r_name r.Obs.Health.r_spec r.Obs.Health.r_alerts
+              r.Obs.Health.r_worst_burn)
+          breached;
+        exit 4
+      end);
   if gc_stats then begin
     let cpu = Sys.time () -. cpu0 in
     let g1 = Gc.quick_stat () in

@@ -1,3 +1,3 @@
 let () =
   Alcotest.run "highlight"
-    (List.concat [ Test_util.suite; Test_sim.suite; Test_device.suite; Test_lfs.suite; Test_ffs.suite; Test_highlight.suite; Test_service.suite; Test_policy.suite; Test_extra.suite; Test_obs.suite; Test_attrib.suite; Test_fault.suite; Test_recovery.suite; Test_streaming.suite; Test_decision.suite ])
+    (List.concat [ Test_util.suite; Test_sim.suite; Test_device.suite; Test_lfs.suite; Test_ffs.suite; Test_highlight.suite; Test_service.suite; Test_policy.suite; Test_extra.suite; Test_obs.suite; Test_attrib.suite; Test_fault.suite; Test_recovery.suite; Test_streaming.suite; Test_decision.suite; Test_health.suite ])

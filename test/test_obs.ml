@@ -278,9 +278,10 @@ let prop_merge_then_percentile =
    byte by test/trace_golden.json. If the export format changes on
    purpose, run the suite once and copy /tmp/highlight_trace_actual.json
    over test/trace_golden.json. *)
-let golden_scenario () =
+let golden_scenario ?metrics () =
   let e = Engine.create () in
   let tr = Trace.start e in
+  (match metrics with Some m -> Trace.attach_metrics tr m | None -> ());
   Engine.spawn e ~name:"writer" (fun () ->
       Trace.span ~cat:"demo" "write" ~args:[ ("blk", "0") ] (fun () -> Engine.delay 1.0);
       let id = Trace.async_begin ~track:"reqs" ~cat:"lifecycle" "req" in
@@ -349,7 +350,14 @@ let test_trace_wellformed () =
     [ "writer"; "poller"; "reqs"; "queue" ]
 
 let test_trace_golden () =
-  let tr = golden_scenario () in
+  let m = Metrics.create () in
+  let tr = golden_scenario ~metrics:m () in
+  (* the golden scenario runs unsampled and far under the buffer
+     limit: a nonzero trace.dropped here means the recording path
+     itself lost events, which would quietly invalidate the pinned
+     export *)
+  check Alcotest.int "trace.dropped is 0" 0 (Metrics.count (Metrics.counter m "trace.dropped"));
+  check Alcotest.int "no ring evictions" 0 (Trace.evicted tr);
   let actual = Trace.export tr in
   let golden =
     (* dune copies the dep next to the test binary; cwd varies between
